@@ -1,0 +1,123 @@
+// Command iorsim runs a single IOR-style experiment on the simulated
+// Viking cluster with full control over the benchmark knobs — the
+// free-form companion to lsmio-bench's fixed figure sweeps.
+//
+//	iorsim -api lsmio -n 48 -t 64k -b 64k -s 512 -stripes 4
+//	iorsim -api posix -n 16 -t 1m -s 32 -collective -read -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lsmio/internal/core"
+	"lsmio/internal/ior"
+	"lsmio/internal/pfs"
+	"lsmio/internal/sim"
+)
+
+// parseSize accepts 64k / 1m / 4096 style sizes.
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "g")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+func main() {
+	api := flag.String("api", "posix", "I/O API: posix, hdf5, adios2, lsmio, lsmio-plugin")
+	nodes := flag.Int("n", 8, "number of compute nodes (1 task per node)")
+	transfer := flag.String("t", "64k", "transfer size")
+	block := flag.String("b", "", "block size (default: = transfer)")
+	segments := flag.Int("s", 64, "segment count")
+	stripeCount := flag.Int("stripes", 4, "Lustre stripe count")
+	stripeSize := flag.String("stripesize", "", "Lustre stripe size (default: = transfer)")
+	collective := flag.Bool("collective", false, "use collective (two-phase) I/O")
+	fpp := flag.Bool("F", false, "file per process instead of shared file")
+	doRead := flag.Bool("read", false, "add a read-back phase")
+	verify := flag.Bool("verify", false, "verify data on read-back")
+	buffer := flag.String("buffer", "8m", "LSMIO write buffer / ADIOS2 BufferChunkSize")
+	backend := flag.String("backend", "", "LSMIO backend: rocks (default) or level")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "iorsim:", err)
+		os.Exit(1)
+	}
+	tSize, err := parseSize(*transfer)
+	if err != nil {
+		die(err)
+	}
+	bSize := tSize
+	if *block != "" {
+		if bSize, err = parseSize(*block); err != nil {
+			die(err)
+		}
+	}
+	sSize := tSize
+	if *stripeSize != "" {
+		if sSize, err = parseSize(*stripeSize); err != nil {
+			die(err)
+		}
+	}
+	bufSize, err := parseSize(*buffer)
+	if err != nil {
+		die(err)
+	}
+
+	p := ior.Params{
+		API:             ior.API(*api),
+		TransferSize:    tSize,
+		BlockSize:       bSize,
+		SegmentCount:    *segments,
+		FilePerProc:     *fpp,
+		Collective:      *collective,
+		StripeCount:     *stripeCount,
+		StripeSize:      sSize,
+		DoWrite:         true,
+		DoRead:          *doRead,
+		Verify:          *verify,
+		Fsync:           true,
+		TestFile:        "testfile",
+		WriteBufferSize: int(bufSize),
+	}
+	switch *backend {
+	case "":
+	case "rocks", "level":
+		p.LSMIOBackend = core.Backend(*backend)
+	default:
+		die(fmt.Errorf("unknown backend %q", *backend))
+	}
+
+	cluster := pfs.NewCluster(sim.NewKernel(), pfs.VikingConfig(*nodes))
+	res, err := ior.Run(cluster, *nodes, p)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Printf("api=%s nodes=%d transfer=%d block=%d segments=%d stripes=%d collective=%v fpp=%v\n",
+		*api, *nodes, tSize, bSize, *segments, *stripeCount, *collective, *fpp)
+	fmt.Printf("per-rank volume: %d MiB, aggregate: %d MiB\n",
+		res.BytesPerRank>>20, res.TotalBytes>>20)
+	fmt.Printf("write: %9.1f MB/s  (%.3fs)\n", res.WriteBW/1e6, res.WriteSeconds)
+	if *doRead {
+		fmt.Printf("read:  %9.1f MB/s  (%.3fs)\n", res.ReadBW/1e6, res.ReadSeconds)
+	}
+	s := res.Storage
+	fmt.Printf("storage: %d write RPCs, %d read RPCs, %d seeks, %d lock migrations, %d metadata ops\n",
+		s.WriteOps, s.ReadOps, s.Seeks, s.LockSwitches, s.MetadataOps)
+}

@@ -1,0 +1,113 @@
+// Command lsmio-bench regenerates the LSMIO paper's evaluation figures on
+// the simulated Viking cluster and evaluates the paper's headline ratios
+// against tolerance bands.
+//
+// Usage:
+//
+//	lsmio-bench [-fig all|1|5|6|7|8|9|10] [-scale paper|quick] [-csv dir] [-q]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lsmio/internal/bench"
+	"lsmio/internal/histdata"
+)
+
+func main() {
+	figFlag := flag.String("fig", "all", "figure to run: all, 1, 5, 6, 7, 8, 9, 10")
+	scaleFlag := flag.String("scale", "paper", "sweep scale: paper (1..48 nodes) or quick")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files")
+	quiet := flag.Bool("q", false, "suppress per-point progress lines")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "paper":
+		scale = bench.PaperScale()
+	case "quick":
+		scale = bench.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	wantFig := func(id string) bool {
+		if *figFlag == "all" {
+			return true
+		}
+		return "fig"+*figFlag == id || *figFlag == id
+	}
+
+	if *figFlag == "all" || *figFlag == "1" || *figFlag == "fig1" {
+		fmt.Println("== fig1: compute vs I/O growth of the #1 system ==")
+		fmt.Println(histdata.Table())
+	}
+
+	progress := func(line string) {
+		if !*quiet {
+			fmt.Println("  " + line)
+		}
+	}
+
+	failed := 0
+	for _, fig := range bench.Figures() {
+		if !wantFig(fig.ID) {
+			continue
+		}
+		fr, err := bench.RunFigure(fig, scale, progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", fig.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(fr.Table())
+		outcomes := fr.Evaluate()
+		if len(outcomes) > 0 {
+			fmt.Println("shape checks (paper value, accepted band, measured):")
+			for _, o := range outcomes {
+				status := "PASS"
+				if o.Err != nil {
+					status = "ERR "
+					failed++
+				} else if !o.Passed {
+					status = "FAIL"
+					failed++
+				}
+				band := fmt.Sprintf(">= %.2g", o.Min)
+				if o.Max > 0 {
+					band = fmt.Sprintf("%.2g..%.2g", o.Min, o.Max)
+				}
+				if o.Err != nil {
+					fmt.Printf("  [%s] %-62s %v\n", status, o.Desc, o.Err)
+				} else {
+					fmt.Printf("  [%s] %-62s paper %.1fx band %s got %.2fx\n",
+						status, o.Desc, o.Paper, band, o.Got)
+				}
+			}
+			fmt.Println()
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, fig.ID+".csv")
+			if err := os.WriteFile(path, []byte(fr.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d shape check(s) outside their band\n", failed)
+		os.Exit(1)
+	}
+	if *figFlag == "all" || strings.HasPrefix(*figFlag, "fig") || *figFlag != "1" {
+		fmt.Println("all requested figures completed")
+	}
+}

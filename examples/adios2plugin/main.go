@@ -1,0 +1,125 @@
+// ADIOS2 plugin demo: the paper's headline usability claim (§3.1.7, §4.3)
+// — an ADIOS2 application switches its storage layer to LSMIO by editing
+// only its XML configuration, with zero code changes.
+//
+// The same unmodified writer/reader function runs twice: once with the
+// BP5-style engine selected, once with the LSMIO plugin selected, the
+// choice coming entirely from the XML document.
+//
+//	go run ./examples/adios2plugin
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"lsmio"
+	"lsmio/internal/adios2"
+	"lsmio/internal/vfs"
+)
+
+// xmlConfig is what the operator edits; nothing else changes between the
+// two runs.
+const xmlBP5 = `
+<adios-config>
+  <io name="checkpoint">
+    <engine type="BP5">
+      <parameter key="BufferChunkSize" value="4194304"/>
+    </engine>
+  </io>
+</adios-config>`
+
+const xmlLSMIO = `
+<adios-config>
+  <io name="checkpoint">
+    <engine type="plugin">
+      <parameter key="PluginName" value="lsmio"/>
+      <parameter key="BufferChunkSize" value="4194304"/>
+    </engine>
+  </io>
+</adios-config>`
+
+const n = 1 << 16 // 64K float64s per variable
+
+// application is the unmodified ADIOS2 user code: it has no idea which
+// engine the configuration selected.
+func application(a *adios2.Adios, path string) error {
+	io := a.DeclareIO("checkpoint")
+	temp := io.DefineVariable("temperature", 8, n)
+	pres := io.DefineVariable("pressure", 8, n)
+
+	// Write phase.
+	w, err := io.Open(path, adios2.ModeWrite)
+	if err != nil {
+		return err
+	}
+	tData, pData := make([]byte, 8*n), make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(tData[8*i:], math.Float64bits(280+20*math.Sin(float64(i)/500)))
+		binary.LittleEndian.PutUint64(pData[8*i:], math.Float64bits(101e3+50*math.Cos(float64(i)/900)))
+	}
+	if err := w.Put(temp, tData, adios2.Deferred); err != nil {
+		return err
+	}
+	if err := w.Put(pres, pData, adios2.Deferred); err != nil {
+		return err
+	}
+	if err := w.PerformPuts(); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	// Read phase.
+	r, err := io.Open(path, adios2.ModeRead)
+	if err != nil {
+		return err
+	}
+	tBack, pBack := make([]byte, 8*n), make([]byte, 8*n)
+	if err := r.Get(temp, tBack); err != nil {
+		return err
+	}
+	if err := r.Get(pres, pBack); err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	if !bytes.Equal(tData, tBack) || !bytes.Equal(pData, pBack) {
+		return fmt.Errorf("read-back mismatch")
+	}
+	t0 := math.Float64frombits(binary.LittleEndian.Uint64(tBack))
+	fmt.Printf("  verified %d variables x %d elements (temperature[0] = %.2f K)\n", 2, n, t0)
+	return nil
+}
+
+func run(label, xml string, fs vfs.FS, path string) {
+	fmt.Printf("%s\n", label)
+	a, err := adios2.NewFromConfig(adios2.Config{FS: fs}, []byte(xml))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := application(a, path); err != nil {
+		log.Fatal(err)
+	}
+	// Show what actually landed on storage.
+	names, _ := fs.List(".")
+	fmt.Printf("  storage artifacts: %v\n\n", names)
+}
+
+func main() {
+	// The plugin registers once at program start (a real deployment loads
+	// it as a shared library; here it is a package).
+	lsmio.RegisterADIOS2Plugin()
+
+	fmt.Println("same application code, two XML configurations:")
+	fmt.Println()
+	run("engine BP5 (ADIOS2 default):", xmlBP5, vfs.NewMemFS(), "out")
+	run("engine plugin/lsmio (LSM-tree storage):", xmlLSMIO, vfs.NewMemFS(), "out")
+	fmt.Println("the second run wrote through the LSM-tree: no .bp subfiles,")
+	fmt.Println("just the plugin's per-rank LSMIO store directories.")
+}

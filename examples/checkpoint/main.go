@@ -1,0 +1,293 @@
+// Checkpoint/restart of a real (small) scientific computation on the
+// simulated Viking cluster: 16 MPI ranks advance a 1-D heat-diffusion
+// stencil with halo exchange, checkpoint their state periodically, then
+// "crash" and restart from the last checkpoint, verifying the recovered
+// field bit-for-bit.
+//
+// The same run is performed twice — once checkpointing through LSMIO
+// (per-rank LSM stores, write barrier) and once through plain POSIX
+// writes to one shared striped file — and the virtual time spent inside
+// checkpoints is compared, reproducing the paper's core claim at
+// application level rather than with IOR.
+//
+//	go run ./examples/checkpoint
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"lsmio/internal/core"
+	"lsmio/internal/lsm"
+	"lsmio/internal/mpisim"
+	"lsmio/internal/pfs"
+	"lsmio/internal/sim"
+)
+
+const (
+	ranks        = 16
+	cellsPerRank = 1 << 17 // 128K float64 cells per rank (1 MB)
+	steps        = 30
+	ckptEvery    = 10
+	// The field is checkpointed as nVars separate variables (a realistic
+	// multi-field application layout): per-variable records interleave
+	// across ranks in the shared-file layout, exactly the pattern that
+	// hurts N-to-1 POSIX checkpoints.
+	nVars = 64
+)
+
+const varBytes = 8 * cellsPerRank / nVars
+
+// stencil advances u one explicit diffusion step with halo exchange.
+func stencil(r *mpisim.Rank, u []float64) []float64 {
+	left, right := -1.0, -1.0 // boundary value outside the domain
+	// Exchange halos with neighbours (eager sends cannot deadlock).
+	if r.Rank() > 0 {
+		r.Send(r.Rank()-1, 1, u[0], 8)
+	}
+	if r.Rank() < r.Size()-1 {
+		r.Send(r.Rank()+1, 2, u[len(u)-1], 8)
+	}
+	if r.Rank() < r.Size()-1 {
+		right = r.Recv(r.Rank()+1, 1).(float64)
+	}
+	if r.Rank() > 0 {
+		left = r.Recv(r.Rank()-1, 2).(float64)
+	}
+	if r.Rank() == 0 {
+		left = u[0]
+	}
+	if r.Rank() == r.Size()-1 {
+		right = u[len(u)-1]
+	}
+	next := make([]float64, len(u))
+	for i := range u {
+		l, rr := left, right
+		if i > 0 {
+			l = u[i-1]
+		}
+		if i < len(u)-1 {
+			rr = u[i+1]
+		}
+		next[i] = u[i] + 0.25*(l-2*u[i]+rr)
+	}
+	return next
+}
+
+func initField(rank int) []float64 {
+	u := make([]float64, cellsPerRank)
+	for i := range u {
+		x := float64(rank*cellsPerRank+i) / float64(ranks*cellsPerRank)
+		u[i] = math.Sin(2*math.Pi*x) + 0.5*math.Sin(14*math.Pi*x)
+	}
+	return u
+}
+
+func encode(u []float64) []byte {
+	b := make([]byte, 8*len(u))
+	for i, v := range u {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func decode(b []byte) []float64 {
+	u := make([]float64, len(b)/8)
+	for i := range u {
+		u[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return u
+}
+
+// checkpointer abstracts the two checkpoint paths.
+type checkpointer interface {
+	save(step int, state []byte) error
+	barrier() error
+	load(step int) ([]byte, error)
+}
+
+type lsmioCkpt struct{ mgr *core.Manager }
+
+func (c *lsmioCkpt) save(step int, state []byte) error {
+	for v := 0; v < nVars; v++ {
+		key := fmt.Sprintf("ckpt/step%06d/var%03d", step, v)
+		if err := c.mgr.Put(key, state[v*varBytes:(v+1)*varBytes]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (c *lsmioCkpt) barrier() error { return c.mgr.WriteBarrier() }
+func (c *lsmioCkpt) load(step int) ([]byte, error) {
+	state := make([]byte, 8*cellsPerRank)
+	for v := 0; v < nVars; v++ {
+		key := fmt.Sprintf("ckpt/step%06d/var%03d", step, v)
+		chunk, err := c.mgr.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		copy(state[v*varBytes:], chunk)
+	}
+	return state, nil
+}
+
+type posixCkpt struct {
+	fs   *pfs.ClientFS
+	r    *mpisim.Rank
+	path string
+}
+
+// off places (step, var, rank) in the shared file: variable-major within
+// a step, ranks back to back within a variable — the usual N-to-1
+// checkpoint layout.
+func (c *posixCkpt) off(step, v int) int64 {
+	stepBase := int64(step/ckptEvery) * int64(ranks) * 8 * cellsPerRank
+	return stepBase + int64(v)*int64(ranks)*varBytes + int64(c.r.Rank())*varBytes
+}
+
+func (c *posixCkpt) save(step int, state []byte) error {
+	f, err := c.fs.Open(c.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for v := 0; v < nVars; v++ {
+		if _, err := f.WriteAt(state[v*varBytes:(v+1)*varBytes], c.off(step, v)); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+func (c *posixCkpt) barrier() error {
+	if err := c.fs.Barrier(); err != nil {
+		return err
+	}
+	c.r.Barrier()
+	return nil
+}
+func (c *posixCkpt) load(step int) ([]byte, error) {
+	f, err := c.fs.Open(c.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	state := make([]byte, 8*cellsPerRank)
+	for v := 0; v < nVars; v++ {
+		if _, err := f.ReadAt(state[v*varBytes:(v+1)*varBytes], c.off(step, v)); err != nil {
+			return nil, err
+		}
+	}
+	return state, nil
+}
+
+// run executes compute + checkpoints and returns (checkpoint time,
+// final field checksum, restart ok).
+func run(label string, makeCkpt func(r *mpisim.Rank, c *pfs.Cluster) checkpointer) {
+	k := sim.NewKernel()
+	cluster := pfs.NewCluster(k, pfs.VikingConfig(ranks))
+	world := mpisim.NewWorld(k, cluster.Fabric(), ranks)
+
+	var ckptTime sim.Time
+	var checksum float64
+	restartOK := true
+
+	world.Launch(func(r *mpisim.Rank) {
+		ck := makeCkpt(r, cluster)
+		u := initField(r.Rank())
+		lastCkpt := -1
+		var spent sim.Time
+		for step := 1; step <= steps; step++ {
+			u = stencil(r, u)
+			r.Sleep(2 << 20 / 8 * 2) // ~flops cost of the sweep, in ns
+			if step%ckptEvery == 0 {
+				t0 := r.Now()
+				if err := ck.save(step, encode(u)); err != nil {
+					log.Fatalf("%s: save: %v", label, err)
+				}
+				if err := ck.barrier(); err != nil {
+					log.Fatalf("%s: barrier: %v", label, err)
+				}
+				spent += r.Now() - t0
+				lastCkpt = step
+			}
+		}
+		// "Crash": recover the last checkpoint and verify it matches the
+		// state we held when we took it (recompute forward to compare).
+		saved, err := ck.load(lastCkpt)
+		if err != nil {
+			log.Fatalf("%s: restart load: %v", label, err)
+		}
+		recovered := decode(saved)
+		if len(recovered) != cellsPerRank {
+			restartOK = false
+		}
+		// The last checkpoint was taken at the final step here, so the
+		// recovered field must equal the current one exactly.
+		for i := range u {
+			if recovered[i] != u[i] {
+				restartOK = false
+				break
+			}
+		}
+		sum := 0.0
+		for _, v := range u {
+			sum += v
+		}
+		total := r.AllreduceF64(sum, func(a, b float64) float64 { return a + b })
+		maxSpent := r.MaxTime(spent)
+		if r.Rank() == 0 {
+			checksum = total
+			ckptTime = maxSpent
+		}
+	})
+	if err := k.Run(); err != nil {
+		log.Fatal(err)
+	}
+	bytesPerCkpt := float64(ranks) * 8 * cellsPerRank
+	nCkpts := float64(steps / ckptEvery)
+	bw := bytesPerCkpt * nCkpts / ckptTime.Seconds()
+	fmt.Printf("%-22s checkpoint time %10v   bandwidth %8.1f MB/s   restart ok: %v   checksum %.6f\n",
+		label, ckptTime.Duration(), bw/1e6, restartOK, checksum)
+}
+
+func main() {
+	fmt.Printf("heat-diffusion stencil on %d simulated ranks, %d steps, checkpoint every %d\n\n",
+		ranks, steps, ckptEvery)
+
+	run("LSMIO (K/V + barrier)", func(r *mpisim.Rank, c *pfs.Cluster) checkpointer {
+		mgr, err := core.NewManager(fmt.Sprintf("app.lsmio/rank%03d", r.Rank()),
+			core.ManagerOptions{
+				Store: core.StoreOptions{
+					FS:       c.Client(r.Rank()),
+					Platform: lsm.SimPlatform(c.Kernel()),
+					Async:    true,
+				},
+				Kernel: c.Kernel(),
+				MPI:    r,
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &lsmioCkpt{mgr: mgr}
+	})
+
+	run("POSIX (N-to-1 shared)", func(r *mpisim.Rank, c *pfs.Cluster) checkpointer {
+		fs := c.Client(r.Rank())
+		path := "app.ckpt"
+		if r.Rank() == 0 {
+			f, err := fs.CreateStriped(path, 4, 1<<20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+		r.Barrier()
+		return &posixCkpt{fs: fs, r: r, path: path}
+	})
+
+	fmt.Println("\nthe LSM-tree path turns each rank's checkpoint into large sequential")
+	fmt.Println("appends on its own files; the shared-file path pays extent-lock and")
+	fmt.Println("interleaving penalties once ranks outnumber the stripe count.")
+}

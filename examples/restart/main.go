@@ -1,0 +1,92 @@
+// Restart demo for the ckpt package: versioned checkpoints with
+// manifests, integrity verification, retention, and crash-atomic commit,
+// on the real filesystem.
+//
+// The program simulates an application that checkpoints every few steps,
+// "crashes" mid-checkpoint (data written, manifest not yet committed),
+// and then restarts — recovering the last *committed* step, never the
+// torn one.
+//
+//	go run ./examples/restart [dir]
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"lsmio"
+	"lsmio/ckpt"
+)
+
+func openStore(dir string) (*ckpt.Store, *lsmio.Manager) {
+	fs, err := lsmio.NewOSFS(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := lsmio.NewManager("store", lsmio.ManagerOptions{
+		Store: lsmio.StoreOptions{FS: fs, Async: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ckpt.New(mgr, ckpt.Options{Keep: 2}), mgr
+}
+
+func state(step int64) []byte {
+	return bytes.Repeat([]byte{byte(step)}, 1<<20) // 1 MB of "field"
+}
+
+func main() {
+	dir := "lsmio-restart-demo"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+
+	// --- first life: checkpoint steps 10, 20, 30; crash during 40 ------
+	store, mgr := openStore(dir)
+	for _, step := range []int64{10, 20, 30} {
+		c, err := store.Begin(step)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Write("field", state(step))
+		c.Write("meta", []byte(fmt.Sprintf("step=%d", step)))
+		if err := c.Commit(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("committed checkpoint %d\n", step)
+	}
+	// Step 40: data written but the process dies before Commit.
+	torn, _ := store.Begin(40)
+	torn.Write("field", state(40))
+	fmt.Println("writing checkpoint 40... simulated crash before commit!")
+	mgr.Close() // the "crash" (close just releases; no manifest was written)
+
+	// --- second life: restart -----------------------------------------
+	store2, mgr2 := openStore(dir)
+	defer mgr2.Close()
+
+	steps, err := store2.Steps()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter restart, committed checkpoints: %v (retention keeps 2)\n", steps)
+
+	latest, err := store2.Latest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	all, err := store2.ReadAll(latest) // one sequential batch read
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(all["field"], state(latest)) {
+		log.Fatal("recovered state does not match")
+	}
+	fmt.Printf("recovered step %d: %d variables, %d bytes of field data, checksums ok\n",
+		latest, len(all), len(all["field"]))
+	fmt.Printf("meta: %s\n", all["meta"])
+	fmt.Println("\nthe torn checkpoint 40 is invisible: its manifest was never committed.")
+}

@@ -1,0 +1,3 @@
+module lsmio
+
+go 1.22

@@ -1,0 +1,230 @@
+// Package adios2 reimplements the slice of ADIOS2 the LSMIO paper
+// compares against and extends: IO objects configured by parameters or an
+// XML document, variables, steps, deferred/sync Puts, a BP5-like engine
+// that aggregates writes into BufferChunkSize chunks and emits per-rank
+// subfiles plus separate metadata files, and the Plugin engine mechanism
+// that lets LSMIO slot in as a storage backend with no application code
+// changes (§3.1.7).
+//
+// The write path is faithful to BP5's behaviour as the paper exercises it:
+// deferred Puts only record intent; PerformPuts marshals data into 32 MB
+// buffer chunks (charging serialization CPU); chunks are written to the
+// rank's subfile as large sequential writes; EndStep/Close gather variable
+// metadata to rank 0, which writes md.0 and md.idx.
+package adios2
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"lsmio/internal/mpisim"
+	"lsmio/internal/sim"
+	"lsmio/internal/vfs"
+)
+
+// Mode selects engine direction.
+type Mode int
+
+// Open modes.
+const (
+	ModeWrite Mode = iota
+	ModeRead
+)
+
+// PutMode mirrors adios2::Mode::Deferred / Sync.
+type PutMode int
+
+// Put modes.
+const (
+	Deferred PutMode = iota
+	Sync
+)
+
+// CostModel is the CPU cost model for the ADIOS2 data path, charged to
+// simulation processes (no-ops outside the simulator). The defaults
+// reflect the overheads the paper attributes to ADIOS2 versus LSMIO's raw
+// byte-array path: strong typing and element-wise marshalling, buffer
+// management, and per-variable metadata handling.
+type CostModel struct {
+	MarshalPerByte   float64       // ns per payload byte at PerformPuts
+	PutFixed         time.Duration // per-Put bookkeeping
+	VarMetaCost      time.Duration // per variable per step metadata build
+	UnmarshalPerByte float64       // ns per payload byte on Get
+}
+
+// DefaultCostModel returns the calibrated cost model. The marshal rate is
+// set so that per-rank ADIOS2 write throughput lands where the paper's
+// ratios put it (≈50 MB/s per rank at 48 nodes: 2.4x below a
+// ceiling-bound LSMIO and 10.7x above the collapsed IOR baseline);
+// EXPERIMENTS.md records the calibration.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		MarshalPerByte:   17.5,
+		PutFixed:         1 * time.Microsecond,
+		VarMetaCost:      8 * time.Microsecond,
+		UnmarshalPerByte: 0.55,
+	}
+}
+
+// Config configures an Adios instance (one per rank, like adios2::ADIOS).
+type Config struct {
+	FS     vfs.FS
+	Kernel *sim.Kernel  // nil outside the simulator
+	Rank   *mpisim.Rank // nil for serial use; enables metadata aggregation
+	Cost   CostModel    // zero value: defaults
+}
+
+// Adios is the top-level factory object (adios2::ADIOS).
+type Adios struct {
+	cfg Config
+	ios map[string]*IO
+}
+
+// New creates an ADIOS2 instance.
+func New(cfg Config) *Adios {
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	return &Adios{cfg: cfg, ios: make(map[string]*IO)}
+}
+
+// DeclareIO returns (creating on first use) a named IO configuration.
+func (a *Adios) DeclareIO(name string) *IO {
+	if io, ok := a.ios[name]; ok {
+		return io
+	}
+	io := &IO{
+		a:          a,
+		name:       name,
+		engineType: "BP5",
+		params:     make(map[string]string),
+		vars:       make(map[string]*Variable),
+	}
+	a.ios[name] = io
+	return io
+}
+
+// IO carries engine choice, parameters and variable definitions
+// (adios2::IO).
+type IO struct {
+	a          *Adios
+	name       string
+	engineType string
+	params     map[string]string
+	vars       map[string]*Variable
+}
+
+// SetEngine selects the engine type ("BP5" or "plugin").
+func (io *IO) SetEngine(engineType string) { io.engineType = engineType }
+
+// EngineType returns the configured engine type.
+func (io *IO) EngineType() string { return io.engineType }
+
+// SetParameter sets an engine parameter (e.g. BufferChunkSize, PluginName).
+func (io *IO) SetParameter(key, value string) { io.params[key] = value }
+
+// Parameter returns an engine parameter and whether it was set.
+func (io *IO) Parameter(key string) (string, bool) {
+	v, ok := io.params[key]
+	return v, ok
+}
+
+// Variable describes a typed array (adios2::Variable). Only the byte-level
+// geometry matters to the storage layer.
+type Variable struct {
+	Name     string
+	ElemSize int
+	Count    int64 // elements per Put
+}
+
+// DefineVariable registers a variable on the IO.
+func (io *IO) DefineVariable(name string, elemSize int, count int64) *Variable {
+	v := &Variable{Name: name, ElemSize: elemSize, Count: count}
+	io.vars[name] = v
+	return v
+}
+
+// InquireVariable returns a previously defined variable, or nil.
+func (io *IO) InquireVariable(name string) *Variable { return io.vars[name] }
+
+// Engine is the ADIOS2 engine interface the paper's plugin implements.
+type Engine interface {
+	// BeginStep starts an output step.
+	BeginStep() error
+	// Put schedules (Deferred) or immediately buffers (Sync) a write.
+	Put(v *Variable, data []byte, mode PutMode) error
+	// PerformPuts drains deferred puts into the transport buffers.
+	PerformPuts() error
+	// Get reads a variable's bytes for the current step into dst.
+	Get(v *Variable, dst []byte) error
+	// EndStep completes the step, flushing data and metadata.
+	EndStep() error
+	// Close finalizes the output.
+	Close() error
+}
+
+// Open instantiates the configured engine for a path.
+func (io *IO) Open(path string, mode Mode) (Engine, error) {
+	switch io.engineType {
+	case "BP5", "bp5", "BP4", "bp4", "":
+		return openBP(io, path, mode)
+	case "plugin", "Plugin":
+		name, ok := io.params["PluginName"]
+		if !ok {
+			return nil, fmt.Errorf("adios2: plugin engine needs a PluginName parameter")
+		}
+		factory, ok := lookupPlugin(name)
+		if !ok {
+			return nil, fmt.Errorf("adios2: plugin %q is not registered", name)
+		}
+		return factory(PluginContext{
+			Path:   path,
+			Mode:   mode,
+			IO:     io,
+			FS:     io.a.cfg.FS,
+			Kernel: io.a.cfg.Kernel,
+			Rank:   io.a.cfg.Rank,
+			Params: io.params,
+		})
+	default:
+		return nil, fmt.Errorf("adios2: unknown engine type %q", io.engineType)
+	}
+}
+
+// rankID returns this process's rank (0 when serial).
+func (a *Adios) rankID() int {
+	if a.cfg.Rank == nil {
+		return 0
+	}
+	return a.cfg.Rank.Rank()
+}
+
+// bufferChunkSize reads the BufferChunkSize parameter (default 32 MB, the
+// value the paper configures for both ADIOS2 and LSMIO).
+func (io *IO) bufferChunkSize() int64 {
+	if s, ok := io.params["BufferChunkSize"]; ok {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 32 << 20
+}
+
+// metaRecord is one variable-block record in the metadata stream.
+type metaRecord struct {
+	Var    string `json:"var"`
+	Step   int    `json:"step"`
+	Rank   int    `json:"rank"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+}
+
+func encodeMeta(recs []metaRecord) []byte {
+	b, _ := json.Marshal(recs)
+	return b
+}
+
+func putUint64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }

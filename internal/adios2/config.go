@@ -1,0 +1,71 @@
+package adios2
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// XML runtime configuration, the mechanism the paper highlights: an
+// application switches from BP5 to the LSMIO plugin by editing its
+// adios2.xml, read at startup, with no recompilation.
+//
+//	<adios-config>
+//	  <io name="checkpoint">
+//	    <engine type="plugin">
+//	      <parameter key="PluginName" value="lsmio"/>
+//	      <parameter key="BufferChunkSize" value="33554432"/>
+//	    </engine>
+//	  </io>
+//	</adios-config>
+
+type xmlConfig struct {
+	XMLName xml.Name `xml:"adios-config"`
+	IOs     []xmlIO  `xml:"io"`
+}
+
+type xmlIO struct {
+	Name   string    `xml:"name,attr"`
+	Engine xmlEngine `xml:"engine"`
+}
+
+type xmlEngine struct {
+	Type   string     `xml:"type,attr"`
+	Params []xmlParam `xml:"parameter"`
+}
+
+type xmlParam struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// NewFromConfig creates an ADIOS2 instance whose IOs are pre-configured
+// from an XML document (adios2::ADIOS(configFile) equivalent).
+func NewFromConfig(cfg Config, xmlText []byte) (*Adios, error) {
+	a := New(cfg)
+	if err := a.ApplyConfig(xmlText); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ApplyConfig parses the XML document and applies engine types and
+// parameters to the named IOs.
+func (a *Adios) ApplyConfig(xmlText []byte) error {
+	var doc xmlConfig
+	if err := xml.Unmarshal(xmlText, &doc); err != nil {
+		return fmt.Errorf("adios2: config: %w", err)
+	}
+	for _, io := range doc.IOs {
+		if io.Name == "" {
+			return fmt.Errorf("adios2: config: io element without name")
+		}
+		target := a.DeclareIO(io.Name)
+		if io.Engine.Type != "" {
+			target.SetEngine(io.Engine.Type)
+		}
+		for _, p := range io.Engine.Params {
+			target.SetParameter(p.Key, p.Value)
+		}
+	}
+	return nil
+}

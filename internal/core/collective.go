@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lsmio/internal/lsm"
+	"lsmio/internal/netsim"
+	"lsmio/internal/sim"
+)
+
+// Collective I/O, the paper's §3.1.3/§5.1 extension: "a single LSM-Tree
+// store could be created for all or a group of nodes participating in
+// checkpointing". One rank per group (the leader) hosts the store; member
+// ranks forward K/V operations over the interconnect. The leader runs a
+// service process that applies operations in arrival order; synchronous
+// operations (get, barrier) wait for a reply, asynchronous puts are fire
+// and forget, mirroring the local async write path.
+
+type kvOp int
+
+const (
+	opPut kvOp = iota
+	opAppend
+	opDel
+	opGet
+	opScan
+	opBarrier
+	opShutdown
+)
+
+type kvRequest struct {
+	op    kvOp
+	key   string
+	value []byte
+	reply *sim.Queue // nil for fire-and-forget
+}
+
+type kvPair struct {
+	key   string
+	value []byte
+}
+
+type kvReply struct {
+	value []byte
+	pairs []kvPair
+	err   error
+}
+
+// KVService hosts a group's shared store on the leader node.
+type KVService struct {
+	k       *sim.Kernel
+	fabric  *netsim.Fabric
+	node    int
+	store   Store
+	queue   *sim.Queue
+	stopped bool
+	served  int64
+}
+
+// NewKVService starts the leader-side service process over store. The
+// caller owns the store's lifetime but must Stop the service before
+// closing it (and before the simulation ends).
+func NewKVService(k *sim.Kernel, fabric *netsim.Fabric, leaderNode int, store Store) *KVService {
+	s := &KVService{
+		k:      k,
+		fabric: fabric,
+		node:   leaderNode,
+		store:  store,
+		queue:  sim.NewQueue(k, fmt.Sprintf("kvsvc@%d", leaderNode)),
+	}
+	k.Spawn(fmt.Sprintf("kvservice-%d", leaderNode), s.serve).SetDaemon(true)
+	return s
+}
+
+func (s *KVService) serve(p *sim.Proc) {
+	// A small fixed service cost per operation models the leader's
+	// request-handling CPU.
+	const opCost = 3 * time.Microsecond
+	for {
+		req := s.queue.Recv(p).(kvRequest)
+		if req.op == opShutdown {
+			if req.reply != nil {
+				req.reply.Send(kvReply{})
+			}
+			return
+		}
+		p.Sleep(opCost)
+		s.served++
+		var rep kvReply
+		switch req.op {
+		case opPut:
+			rep.err = s.store.Put(req.key, req.value, false)
+		case opAppend:
+			rep.err = s.store.Append(req.key, req.value, false)
+		case opDel:
+			rep.err = s.store.Del(req.key)
+		case opGet:
+			rep.value, rep.err = s.store.Get(req.key)
+		case opScan:
+			rep.err = s.store.Scan(req.key, func(k string, v []byte) bool {
+				rep.pairs = append(rep.pairs, kvPair{key: k, value: v})
+				return true
+			})
+		case opBarrier:
+			rep.err = s.store.WriteBarrier(true)
+		}
+		if req.reply != nil {
+			req.reply.Send(rep)
+		}
+	}
+}
+
+// Served reports how many operations the leader has applied.
+func (s *KVService) Served() int64 { return s.served }
+
+// Stop shuts the service process down, blocking until it exits.
+func (s *KVService) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	p := s.k.Current()
+	if p == nil {
+		panic("lsmio: KVService.Stop must be called from a simulation process")
+	}
+	reply := sim.NewQueue(s.k, "kvsvc-stop")
+	s.queue.Send(kvRequest{op: opShutdown, reply: reply})
+	reply.Recv(p)
+}
+
+// RemoteStore is the member-rank side of collective I/O: a Store that
+// forwards every operation to a KVService over the fabric.
+type RemoteStore struct {
+	svc  *KVService
+	node int // this member's fabric endpoint
+}
+
+var _ Store = (*RemoteStore)(nil)
+
+// Connect returns a Store forwarding to svc from memberNode.
+func (s *KVService) Connect(memberNode int) *RemoteStore {
+	return &RemoteStore{svc: s, node: memberNode}
+}
+
+func (r *RemoteStore) proc() *sim.Proc {
+	p := r.svc.k.Current()
+	if p == nil {
+		panic("lsmio: RemoteStore used outside a simulation process")
+	}
+	return p
+}
+
+// send ships a request; when sync, it waits for and returns the reply.
+func (r *RemoteStore) send(req kvRequest, payload int64, sync bool) (kvReply, error) {
+	p := r.proc()
+	if sync {
+		req.reply = sim.NewQueue(r.svc.k, "kv-reply")
+	}
+	r.svc.fabric.Transfer(p, r.node, r.svc.node, payload+64)
+	r.svc.queue.Send(req)
+	if !sync {
+		return kvReply{}, nil
+	}
+	rep := req.reply.Recv(p).(kvReply)
+	// Reply payload travels back.
+	size := int64(len(rep.value)) + 32
+	for _, pr := range rep.pairs {
+		size += int64(len(pr.key) + len(pr.value) + 16)
+	}
+	r.svc.fabric.Transfer(p, r.svc.node, r.node, size)
+	return rep, rep.err
+}
+
+// StartBatch implements Store (batching happens at the leader).
+func (r *RemoteStore) StartBatch() error { return nil }
+
+// StopBatch implements Store.
+func (r *RemoteStore) StopBatch() error { return nil }
+
+// Get implements Store: synchronous round trip to the leader.
+func (r *RemoteStore) Get(key string) ([]byte, error) {
+	rep, err := r.send(kvRequest{op: opGet, key: key}, int64(len(key)), true)
+	return rep.value, err
+}
+
+// Put implements Store: asynchronous unless sync is set. The value is
+// copied before transmission (the wire serializes it; the caller may
+// reuse its buffer immediately).
+func (r *RemoteStore) Put(key string, value []byte, sync bool) error {
+	_, err := r.send(kvRequest{op: opPut, key: key, value: append([]byte(nil), value...)},
+		int64(len(key)+len(value)), sync)
+	return err
+}
+
+// Append implements Store. The value is copied before transmission.
+func (r *RemoteStore) Append(key string, value []byte, sync bool) error {
+	_, err := r.send(kvRequest{op: opAppend, key: key, value: append([]byte(nil), value...)},
+		int64(len(key)+len(value)), sync)
+	return err
+}
+
+// Del implements Store.
+func (r *RemoteStore) Del(key string) error {
+	_, err := r.send(kvRequest{op: opDel, key: key}, int64(len(key)), false)
+	return err
+}
+
+// Scan implements Store: the leader runs the sequential sweep and streams
+// the matching pairs back in one bulk transfer.
+func (r *RemoteStore) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	rep, err := r.send(kvRequest{op: opScan, key: prefix}, int64(len(prefix)), true)
+	if err != nil {
+		return err
+	}
+	for _, pr := range rep.pairs {
+		if !fn(pr.key, pr.value) {
+			break
+		}
+	}
+	return nil
+}
+
+// WriteBarrier implements Store: waits until the leader has applied all of
+// this member's prior operations and flushed (FIFO ordering of the service
+// queue makes one round trip sufficient).
+func (r *RemoteStore) WriteBarrier(bool) error {
+	_, err := r.send(kvRequest{op: opBarrier}, 0, true)
+	return err
+}
+
+// Close implements Store; the leader owns the underlying store.
+func (r *RemoteStore) Close() error { return nil }
+
+// EngineStats implements Store, reporting the leader's engine counters.
+func (r *RemoteStore) EngineStats() lsm.Stats { return r.svc.store.EngineStats() }

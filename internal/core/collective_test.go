@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lsmio/internal/lsm"
+	"lsmio/internal/netsim"
+	"lsmio/internal/pfs"
+	"lsmio/internal/sim"
+	"lsmio/internal/vfs"
+)
+
+// TestCollectiveGroupSharedStore exercises the §5.1 collective mode: four
+// ranks share one leader-hosted store; after the barrier, every rank's
+// data is present and readable from any rank.
+func TestCollectiveGroupSharedStore(t *testing.T) {
+	const ranks = 4
+	k := sim.NewKernel()
+	cluster := pfs.NewCluster(k, pfs.VikingConfig(ranks))
+
+	var svc *KVService
+	var leaderStore Store
+
+	// Leader setup runs first, in its own process.
+	k.Spawn("setup", func(p *sim.Proc) {
+		var err error
+		leaderStore, err = OpenStore("shared-db", StoreOptions{
+			FS:       cluster.Client(0),
+			Platform: lsm.SimPlatform(k),
+			Async:    true,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		svc = NewKVService(k, cluster.Fabric(), 0, leaderStore)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if svc == nil {
+		t.Fatal("setup failed")
+	}
+
+	done := make([]bool, ranks)
+	for r := 0; r < ranks; r++ {
+		r := r
+		k.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			var st Store
+			if r == 0 {
+				st = leaderStore
+			} else {
+				st = svc.Connect(r)
+			}
+			mgr, err := NewManager("", ManagerOptions{Kernel: k, Remote: st})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("rank%d/key%02d", r, i)
+				if err := mgr.Put(key, bytes.Repeat([]byte{byte(r)}, 256)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := mgr.WriteBarrier(); err != nil {
+				t.Error(err)
+				return
+			}
+			done[r] = true
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r, ok := range done {
+		if !ok {
+			t.Fatalf("rank %d did not finish", r)
+		}
+	}
+
+	// Cross-rank reads plus shutdown.
+	k.Spawn("verify", func(p *sim.Proc) {
+		member := svc.Connect(3)
+		for r := 0; r < ranks; r++ {
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("rank%d/key%02d", r, i)
+				v, err := member.Get(key)
+				if err != nil || len(v) != 256 || v[0] != byte(r) {
+					t.Errorf("key %s: %v", key, err)
+					return
+				}
+			}
+		}
+		if svc.Served() == 0 {
+			t.Error("service applied no operations")
+		}
+		svc.Stop()
+		if err := leaderStore.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectiveBarrierOrdering verifies FIFO semantics: a member's
+// barrier completes only after all its earlier puts are applied.
+func TestCollectiveBarrierOrdering(t *testing.T) {
+	k := sim.NewKernel()
+	fabric := netsim.New(k, netsim.DefaultConfig(2))
+	var put, served int64
+	k.Spawn("main", func(p *sim.Proc) {
+		store, err := OpenStore("db", StoreOptions{
+			FS:       vfs.NewMemFS(),
+			Platform: lsm.SimPlatform(k),
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		svc := NewKVService(k, fabric, 0, store)
+		member := svc.Connect(1)
+		for i := 0; i < 50; i++ {
+			member.Put(fmt.Sprintf("k%02d", i), []byte("v"), false)
+			put++
+		}
+		member.WriteBarrier(false)
+		served = svc.Served()
+		// After the barrier, all 50 puts must already be applied.
+		for i := 0; i < 50; i++ {
+			if _, err := store.Get(fmt.Sprintf("k%02d", i)); err != nil {
+				t.Errorf("k%02d missing after member barrier: %v", i, err)
+			}
+		}
+		svc.Stop()
+		store.Close()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served < put {
+		t.Fatalf("barrier returned with %d/%d ops applied", served, put)
+	}
+}

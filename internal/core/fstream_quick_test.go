@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// TestFStreamQuickMatchesModel drives an FStream with a long random
+// schedule of writes, seeks, reads, flushes and reopens, comparing every
+// observable against an in-memory reference model (a growable byte slice
+// with a cursor).
+func TestFStreamQuickMatchesModel(t *testing.T) {
+	m := newTestManager(t)
+	defer m.Close()
+	sys := NewFStreamSystem(m)
+
+	rng := rand.New(rand.NewSource(99))
+	var model []byte
+	var pos int64
+
+	f, err := sys.Open("model", ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reopen := func() {
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		f, err = sys.Open("model", ModeReadWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos = 0
+	}
+
+	for step := 0; step < 1500; step++ {
+		switch op := rng.Intn(100); {
+		case op < 45: // write
+			n := rng.Intn(5000) + 1
+			data := make([]byte, n)
+			rng.Read(data)
+			if _, err := f.Write(data); err != nil {
+				t.Fatalf("step %d write: %v", step, err)
+			}
+			end := pos + int64(n)
+			if end > int64(len(model)) {
+				grown := make([]byte, end)
+				copy(grown, model)
+				model = grown
+			}
+			copy(model[pos:end], data)
+			pos = end
+		case op < 65: // seek
+			var target int64
+			switch rng.Intn(3) {
+			case 0:
+				target = int64(rng.Intn(len(model) + 1))
+				f.SeekP(target, io.SeekStart)
+			case 1:
+				delta := int64(rng.Intn(2000)) - 1000
+				if pos+delta < 0 {
+					delta = -pos
+				}
+				target = pos + delta
+				f.SeekP(delta, io.SeekCurrent)
+			default:
+				target = int64(len(model))
+				f.SeekP(0, io.SeekEnd)
+			}
+			pos = target
+			if got := f.TellP(); got != pos {
+				t.Fatalf("step %d: tellp %d, model %d", step, got, pos)
+			}
+		case op < 85: // read
+			n := rng.Intn(4000) + 1
+			buf := make([]byte, n)
+			got, err := f.Read(buf)
+			wantN := len(model) - int(pos)
+			if wantN < 0 {
+				wantN = 0
+			}
+			if wantN > n {
+				wantN = n
+			}
+			if wantN == 0 {
+				if err != io.EOF {
+					t.Fatalf("step %d: read at EOF returned %d, %v", step, got, err)
+				}
+				continue
+			}
+			if err != nil && err != io.EOF {
+				t.Fatalf("step %d read: %v", step, err)
+			}
+			if got != wantN {
+				t.Fatalf("step %d: read %d bytes, model %d", step, got, wantN)
+			}
+			if !bytes.Equal(buf[:got], model[pos:pos+int64(got)]) {
+				t.Fatalf("step %d: read content mismatch at %d", step, pos)
+			}
+			pos += int64(got)
+		case op < 92: // flush
+			if err := f.Flush(); err != nil {
+				t.Fatalf("step %d flush: %v", step, err)
+			}
+		case op < 96 && len(model) > 0: // reopen (persistence)
+			reopen()
+		default: // size check
+			f.Flush()
+			if got := f.Size(); got != int64(len(model)) {
+				t.Fatalf("step %d: size %d, model %d", step, got, len(model))
+			}
+		}
+	}
+	// Final full-content comparison after a barrier and reopen.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WriteBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sys.Open("model", ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := make([]byte, len(model))
+	if len(model) > 0 {
+		if _, err := io.ReadFull(g, final); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(final, model) {
+		t.Fatal("final content diverged from model")
+	}
+	g.Close()
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"lsmio/internal/lsm"
+	"lsmio/internal/mpisim"
+	"lsmio/internal/sim"
+)
+
+// CostProfile is the CPU cost model charged to simulation processes for
+// LSMIO's client-side work (key encoding, memtable insertion, table
+// building amortized per operation). Outside the simulator the charges are
+// no-ops — real CPU time is really spent.
+type CostProfile struct {
+	PutFixed   time.Duration // per-put fixed cost
+	PutPerByte float64       // ns per value byte on the put path
+	GetFixed   time.Duration // per-get fixed cost
+	GetPerByte float64       // ns per value byte on the get path
+}
+
+// DefaultCostProfile reflects measured LSM-engine overheads (skiplist
+// insert ~2 µs; block/filter/index building ~0.35 ns/B end-to-end).
+func DefaultCostProfile() CostProfile {
+	return CostProfile{
+		PutFixed:   2 * time.Microsecond,
+		PutPerByte: 0.35,
+		GetFixed:   3 * time.Microsecond,
+		GetPerByte: 0.40,
+	}
+}
+
+func (c CostProfile) putCost(n int) time.Duration {
+	return c.PutFixed + time.Duration(c.PutPerByte*float64(n))
+}
+
+func (c CostProfile) getCost(n int) time.Duration {
+	return c.GetFixed + time.Duration(c.GetPerByte*float64(n))
+}
+
+// Counters are LSMIO's performance counters (§3.1.4).
+type Counters struct {
+	Puts        int64
+	Gets        int64
+	Appends     int64
+	Dels        int64
+	Barriers    int64
+	BytesPut    int64
+	BytesGot    int64
+	BarrierTime time.Duration
+	RemoteOps   int64 // operations forwarded to a collective leader
+}
+
+// ManagerOptions configures a Manager.
+type ManagerOptions struct {
+	// Store configures the local store (ignored when Remote is set).
+	Store StoreOptions
+	// Kernel, when running inside the simulator, lets the manager charge
+	// CPU costs to the calling process. Nil outside the simulator.
+	Kernel *sim.Kernel
+	// Cost is the client-side CPU cost model (zero value: defaults).
+	Cost CostProfile
+	// MPI attaches an MPI rank; WriteBarrier then also performs an MPI
+	// barrier so all ranks' checkpoints complete together (§3.1.3).
+	MPI *mpisim.Rank
+	// Remote, when non-nil, replaces the local store with a connection to
+	// a collective-I/O leader (§5.1 future work, implemented here).
+	Remote Store
+}
+
+// Manager is the paper's Table 2 component: the external K/V API over the
+// local store, plus MPI integration, typed puts and performance counters.
+type Manager struct {
+	store    Store
+	kern     *sim.Kernel
+	cost     CostProfile
+	mpi      *mpisim.Rank
+	remote   bool
+	counters Counters
+}
+
+// NewManager opens a manager over a local store in dir (or over the
+// remote store when opts.Remote is set).
+func NewManager(dir string, opts ManagerOptions) (*Manager, error) {
+	cost := opts.Cost
+	if cost == (CostProfile{}) {
+		cost = DefaultCostProfile()
+	}
+	m := &Manager{kern: opts.Kernel, cost: cost, mpi: opts.MPI}
+	if opts.Remote != nil {
+		m.store = opts.Remote
+		m.remote = true
+		return m, nil
+	}
+	st, err := OpenStore(dir, opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	m.store = st
+	return m, nil
+}
+
+// Get returns the value for key (always synchronous, §3.1.4).
+func (m *Manager) Get(key string) ([]byte, error) {
+	v, err := m.store.Get(key)
+	if err == nil {
+		m.counters.Gets++
+		m.counters.BytesGot += int64(len(v))
+		m.kern.Compute(m.cost.getCost(len(v)))
+	}
+	return v, err
+}
+
+// ReadBatch loads every key under prefix in one sequential sweep of the
+// LSM-tree, in key order — the batch-read optimization the paper's §5.1
+// proposes instead of random point lookups per key. The per-entry CPU
+// cost is a fraction of a point get's (no per-key index descent).
+func (m *Manager) ReadBatch(prefix string, fn func(key string, value []byte) bool) error {
+	return m.store.Scan(prefix, func(key string, value []byte) bool {
+		m.counters.Gets++
+		m.counters.BytesGot += int64(len(value))
+		m.kern.Compute(time.Duration(m.cost.GetPerByte * float64(len(value)) / 2))
+		return fn(key, value)
+	})
+}
+
+// ReadBatchAll collects a prefix's entries into a map (convenience over
+// ReadBatch for restart-style full loads).
+func (m *Manager) ReadBatchAll(prefix string) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	err := m.ReadBatch(prefix, func(key string, value []byte) bool {
+		out[key] = value
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Put writes key asynchronously (durable at the next write barrier).
+func (m *Manager) Put(key string, value []byte) error {
+	return m.putInternal(key, value, false)
+}
+
+// PutSync writes key and blocks until it is durable.
+func (m *Manager) PutSync(key string, value []byte) error {
+	return m.putInternal(key, value, true)
+}
+
+func (m *Manager) putInternal(key string, value []byte, sync bool) error {
+	m.kern.Compute(m.cost.putCost(len(value)))
+	if err := m.store.Put(key, value, sync); err != nil {
+		return err
+	}
+	m.counters.Puts++
+	m.counters.BytesPut += int64(len(value))
+	if m.remote {
+		m.counters.RemoteOps++
+	}
+	return nil
+}
+
+// Append extends key's value (creating it when absent).
+func (m *Manager) Append(key string, value []byte) error {
+	m.kern.Compute(m.cost.putCost(len(value)))
+	if err := m.store.Append(key, value, false); err != nil {
+		return err
+	}
+	m.counters.Appends++
+	m.counters.BytesPut += int64(len(value))
+	return nil
+}
+
+// Del removes key.
+func (m *Manager) Del(key string) error {
+	if err := m.store.Del(key); err != nil {
+		return err
+	}
+	m.counters.Dels++
+	return nil
+}
+
+// Typed puts, the convenience layer the paper's Manager offers for
+// different data types.
+
+// PutString stores a string value.
+func (m *Manager) PutString(key, value string) error { return m.Put(key, []byte(value)) }
+
+// PutInt64 stores a little-endian int64.
+func (m *Manager) PutInt64(key string, v int64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return m.Put(key, b[:])
+}
+
+// PutFloat64 stores a little-endian IEEE-754 float64.
+func (m *Manager) PutFloat64(key string, v float64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return m.Put(key, b[:])
+}
+
+// GetInt64 reads a value stored by PutInt64.
+func (m *Manager) GetInt64(key string) (int64, error) {
+	b, err := m.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 8 {
+		return 0, fmt.Errorf("lsmio: key %q holds %d bytes, not an int64", key, len(b))
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+// GetFloat64 reads a value stored by PutFloat64.
+func (m *Manager) GetFloat64(key string) (float64, error) {
+	b, err := m.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 8 {
+		return 0, fmt.Errorf("lsmio: key %q holds %d bytes, not a float64", key, len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// WriteBarrier flushes all buffered writes to stable storage. With MPI
+// attached it then synchronizes all ranks, so when it returns every rank's
+// checkpoint data is durable — the paper's implicit end-of-checkpoint
+// barrier (§3.1.1).
+func (m *Manager) WriteBarrier() error {
+	start := m.now()
+	if err := m.store.WriteBarrier(true); err != nil {
+		return err
+	}
+	if m.mpi != nil {
+		m.mpi.Barrier()
+	}
+	m.counters.Barriers++
+	m.counters.BarrierTime += m.now().Sub(start)
+	return nil
+}
+
+func (m *Manager) now() sim.Time {
+	if m.kern == nil {
+		return 0
+	}
+	return m.kern.Now()
+}
+
+// Counters returns a snapshot of the performance counters.
+func (m *Manager) Counters() Counters { return m.counters }
+
+// EngineStats exposes the LSM engine's counters.
+func (m *Manager) EngineStats() lsm.Stats { return m.store.EngineStats() }
+
+// Store exposes the underlying local store (the paper's internal K/V API).
+func (m *Manager) Store() Store { return m.store }
+
+// Close flushes and releases the manager's store. Remote (collective)
+// managers do not own the leader's store and only sever the connection.
+func (m *Manager) Close() error {
+	if m.remote {
+		return nil
+	}
+	return m.store.Close()
+}
+
+// managerRegistry implements the paper's optional factory method: one
+// shared Manager per store directory.
+var managerRegistry = struct {
+	sync.Mutex
+	m map[string]*Manager
+}{m: make(map[string]*Manager)}
+
+// GetManager returns the registered Manager for dir, creating it with
+// opts on first use (the factory method of Table 2).
+func GetManager(dir string, opts ManagerOptions) (*Manager, error) {
+	managerRegistry.Lock()
+	defer managerRegistry.Unlock()
+	if m, ok := managerRegistry.m[dir]; ok {
+		return m, nil
+	}
+	m, err := NewManager(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	managerRegistry.m[dir] = m
+	return m, nil
+}
+
+// ReleaseManager removes dir's Manager from the factory registry and
+// closes it.
+func ReleaseManager(dir string) error {
+	managerRegistry.Lock()
+	m, ok := managerRegistry.m[dir]
+	delete(managerRegistry.m, dir)
+	managerRegistry.Unlock()
+	if !ok {
+		return nil
+	}
+	return m.Close()
+}

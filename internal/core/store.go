@@ -1,0 +1,393 @@
+// Package core implements LSMIO, the paper's contribution: an I/O library
+// that routes HPC checkpoint data through an LSM-tree so that writes reach
+// the parallel file system as large sequential appends.
+//
+// The layering follows Figure 3 of the paper:
+//
+//	K/V API / FStream API / ADIOS2 plugin     (manager.go, fstream.go, plugin
+//	        LSMIO Manager + MPI               adapter in package adios2lsmio)
+//	            Local Store                    (this file; Table 1)
+//	       LSM-tree (RocksDB role)             (internal/lsm)
+//
+// Two local-store backends mirror the paper's RocksDB and LevelDB
+// discussion (§3.1.2): the rocks-style backend disables the write-ahead
+// log outright; the level-style backend cannot (LevelDB has no such
+// option), so it buffers writes in a WriteBatch and applies them on
+// barriers, trading atomicity bookkeeping for fewer WAL hits.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lsmio/internal/lsm"
+	"lsmio/internal/vfs"
+)
+
+// Backend selects the local-store implementation.
+type Backend string
+
+// Available backends.
+const (
+	// BackendRocks is the paper's choice: the engine runs with the WAL
+	// disabled (durability comes from the explicit write barrier).
+	BackendRocks Backend = "rocks"
+	// BackendLevel emulates the LevelDB constraint: the WAL stays on and
+	// writes are aggregated in a WriteBatch between barriers.
+	BackendLevel Backend = "level"
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("lsmio: key not found")
+
+// Store is the paper's Table 1 interface: the internal K/V surface over
+// the LSM-tree that the Manager builds on.
+type Store interface {
+	// StartBatch begins write aggregation if the backend needs it.
+	StartBatch() error
+	// StopBatch ends aggregation and applies buffered writes.
+	StopBatch() error
+	// Get returns the value for key, always synchronously.
+	Get(key string) ([]byte, error)
+	// Put writes key; with sync it blocks until durable.
+	Put(key string, value []byte, sync bool) error
+	// Append extends key's existing value (creating it if absent).
+	Append(key string, value []byte, sync bool) error
+	// Del removes key.
+	Del(key string) error
+	// WriteBarrier flushes all buffered writes to disk and, when sync,
+	// blocks until they are on stable storage.
+	WriteBarrier(sync bool) error
+	// Scan visits every live key with the given prefix in key order,
+	// reading the tree sequentially — the batch-read path the paper's
+	// §5.1 proposes to fix the synchronous point-lookup read penalty.
+	// Returning false from fn stops the scan early.
+	Scan(prefix string, fn func(key string, value []byte) bool) error
+	// Close releases the store. Buffered writes are flushed first.
+	Close() error
+	// EngineStats exposes the underlying LSM engine counters.
+	EngineStats() lsm.Stats
+}
+
+// StoreOptions configures a local store.
+type StoreOptions struct {
+	// Backend selects rocks- or level-style behaviour (default rocks).
+	Backend Backend
+	// FS is the filesystem holding the store directory.
+	FS vfs.FS
+	// Platform supplies scheduling/locking (GoPlatform outside the
+	// simulator, SimPlatform inside).
+	Platform lsm.Platform
+	// WriteBufferSize is the memtable size (the paper matches ADIOS2's
+	// 32 MB BufferChunkSize).
+	WriteBufferSize int
+	// BlockSize is the SSTable block size.
+	BlockSize int
+	// Async lets writes return before data reaches disk; the write
+	// barrier establishes durability (the paper's asynchronous option).
+	Async bool
+	// UseMMap coalesces table writes into mmap-style large segments.
+	UseMMap bool
+	// EnableWAL, EnableCompression, EnableCache and EnableCompaction
+	// re-enable engine features the paper turns off; all default false,
+	// matching the paper's checkpoint configuration.
+	EnableWAL         bool
+	EnableCompression bool
+	EnableCache       bool
+	EnableCompaction  bool
+	// Codec selects the block codec when compression is enabled
+	// (default snappy).
+	Codec lsm.CompressionCodec
+}
+
+func (o StoreOptions) engineOptions() lsm.Options {
+	eo := lsm.CheckpointOptions(o.FS)
+	if o.Platform != nil {
+		eo.Platform = o.Platform
+	}
+	if o.WriteBufferSize > 0 {
+		eo.WriteBufferSize = o.WriteBufferSize
+	}
+	if o.BlockSize > 0 {
+		eo.BlockSize = o.BlockSize
+	}
+	eo.AsyncFlush = o.Async
+	eo.UseMMap = o.UseMMap
+	eo.DisableWAL = !o.EnableWAL
+	eo.DisableCompression = !o.EnableCompression
+	eo.DisableCache = !o.EnableCache
+	eo.DisableCompaction = !o.EnableCompaction
+	if o.Codec != "" {
+		eo.Compression = o.Codec
+	}
+	return eo
+}
+
+// OpenStore opens a local store in dir.
+func OpenStore(dir string, opts StoreOptions) (Store, error) {
+	if opts.FS == nil {
+		return nil, fmt.Errorf("lsmio: StoreOptions.FS is required")
+	}
+	switch opts.Backend {
+	case "", BackendRocks:
+		eo := opts.engineOptions()
+		db, err := lsm.Open(dir, eo)
+		if err != nil {
+			return nil, err
+		}
+		return &rocksStore{db: db, fs: opts.FS}, nil
+	case BackendLevel:
+		eo := opts.engineOptions()
+		eo.DisableWAL = false // LevelDB cannot turn the WAL off
+		db, err := lsm.Open(dir, eo)
+		if err != nil {
+			return nil, err
+		}
+		return &levelStore{
+			db:        db,
+			fs:        opts.FS,
+			batch:     lsm.NewBatch(),
+			batchMax:  eo.WriteBufferSize,
+			snapshots: make(map[string][]byte),
+		}, nil
+	default:
+		return nil, fmt.Errorf("lsmio: unknown backend %q", opts.Backend)
+	}
+}
+
+// barrierFS is the optional hook a filesystem (the simulated PFS) exposes
+// to let the write barrier wait for asynchronously completing device I/O.
+type barrierFS interface {
+	Barrier() error
+}
+
+func fsBarrier(fs vfs.FS) error {
+	if b, ok := fs.(barrierFS); ok {
+		return b.Barrier()
+	}
+	return nil
+}
+
+// rocksStore is the paper's configuration: no WAL, direct engine writes.
+type rocksStore struct {
+	db *lsm.DB
+	fs vfs.FS
+}
+
+func (s *rocksStore) StartBatch() error { return nil } // engine buffers in the memtable
+func (s *rocksStore) StopBatch() error  { return nil }
+
+func (s *rocksStore) Get(key string) ([]byte, error) {
+	v, err := s.db.Get([]byte(key))
+	if errors.Is(err, lsm.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+func (s *rocksStore) Put(key string, value []byte, sync bool) error {
+	if err := s.db.Put([]byte(key), value); err != nil {
+		return err
+	}
+	if sync {
+		return s.WriteBarrier(true)
+	}
+	return nil
+}
+
+func (s *rocksStore) Append(key string, value []byte, sync bool) error {
+	old, err := s.Get(key)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	combined := make([]byte, 0, len(old)+len(value))
+	combined = append(combined, old...)
+	combined = append(combined, value...)
+	return s.Put(key, combined, sync)
+}
+
+func (s *rocksStore) Del(key string) error { return s.db.Delete([]byte(key)) }
+
+func (s *rocksStore) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	return scanDB(s.db, prefix, fn)
+}
+
+// scanDB streams keys with a prefix from a range-bounded engine iterator,
+// so only tables overlapping the prefix are opened.
+func scanDB(db *lsm.DB, prefix string, fn func(key string, value []byte) bool) error {
+	var lower, upper []byte
+	if prefix != "" {
+		lower = []byte(prefix)
+		upper = prefixSuccessor([]byte(prefix))
+	}
+	it, err := db.NewRangeIterator(lower, upper)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		key := string(it.Key())
+		if !strings.HasPrefix(key, prefix) {
+			break
+		}
+		if !fn(key, append([]byte(nil), it.Value()...)) {
+			break
+		}
+	}
+	return nil
+}
+
+// prefixSuccessor returns the smallest key greater than every key with
+// the given prefix, or nil when no such key exists (all-0xff prefix).
+func prefixSuccessor(prefix []byte) []byte {
+	out := append([]byte(nil), prefix...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xff {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+func (s *rocksStore) WriteBarrier(sync bool) error {
+	if err := s.db.Flush(); err != nil {
+		return err
+	}
+	if sync {
+		return fsBarrier(s.fs)
+	}
+	return nil
+}
+
+func (s *rocksStore) Close() error {
+	if err := s.WriteBarrier(true); err != nil {
+		return err
+	}
+	return s.db.Close()
+}
+
+func (s *rocksStore) EngineStats() lsm.Stats { return s.db.Stats() }
+
+// levelStore emulates LevelDB: the WAL cannot be disabled, so writes are
+// aggregated in a WriteBatch (which the WAL then sees as one record per
+// barrier instead of one per put).
+type levelStore struct {
+	db       *lsm.DB
+	fs       vfs.FS
+	batching bool
+	batch    *lsm.Batch
+	batchMax int
+	// snapshots lets Get/Append observe writes still sitting in the
+	// unapplied batch (read-your-writes inside a batch window).
+	snapshots map[string][]byte
+	deleted   map[string]bool
+}
+
+func (s *levelStore) StartBatch() error {
+	s.batching = true
+	return nil
+}
+
+func (s *levelStore) StopBatch() error {
+	s.batching = false
+	return s.applyBatch()
+}
+
+func (s *levelStore) applyBatch() error {
+	if s.batch.Count() == 0 {
+		return nil
+	}
+	err := s.db.Apply(s.batch)
+	s.batch = lsm.NewBatch()
+	s.snapshots = make(map[string][]byte)
+	s.deleted = nil
+	return err
+}
+
+func (s *levelStore) Get(key string) ([]byte, error) {
+	if s.deleted != nil && s.deleted[key] {
+		return nil, ErrNotFound
+	}
+	if v, ok := s.snapshots[key]; ok {
+		return append([]byte(nil), v...), nil
+	}
+	v, err := s.db.Get([]byte(key))
+	if errors.Is(err, lsm.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+func (s *levelStore) Put(key string, value []byte, sync bool) error {
+	s.batch.Put([]byte(key), value)
+	s.snapshots[key] = append([]byte(nil), value...)
+	if s.deleted != nil {
+		delete(s.deleted, key)
+	}
+	if !s.batching || s.batch.Size() >= s.batchMax {
+		if err := s.applyBatch(); err != nil {
+			return err
+		}
+	}
+	if sync {
+		return s.WriteBarrier(true)
+	}
+	return nil
+}
+
+func (s *levelStore) Append(key string, value []byte, sync bool) error {
+	old, err := s.Get(key)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return err
+	}
+	combined := make([]byte, 0, len(old)+len(value))
+	combined = append(combined, old...)
+	combined = append(combined, value...)
+	return s.Put(key, combined, sync)
+}
+
+func (s *levelStore) Del(key string) error {
+	s.batch.Delete([]byte(key))
+	delete(s.snapshots, key)
+	if s.deleted == nil {
+		s.deleted = make(map[string]bool)
+	}
+	s.deleted[key] = true
+	if !s.batching {
+		return s.applyBatch()
+	}
+	return nil
+}
+
+func (s *levelStore) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	// Apply the pending batch first so the scan sees this store's own
+	// buffered writes.
+	if err := s.applyBatch(); err != nil {
+		return err
+	}
+	return scanDB(s.db, prefix, fn)
+}
+
+func (s *levelStore) WriteBarrier(sync bool) error {
+	if err := s.applyBatch(); err != nil {
+		return err
+	}
+	if err := s.db.Flush(); err != nil {
+		return err
+	}
+	if sync {
+		return fsBarrier(s.fs)
+	}
+	return nil
+}
+
+func (s *levelStore) Close() error {
+	if err := s.WriteBarrier(true); err != nil {
+		return err
+	}
+	return s.db.Close()
+}
+
+func (s *levelStore) EngineStats() lsm.Stats { return s.db.Stats() }

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lsmio/internal/vfs"
+)
+
+func openTestStore(t *testing.T, fs vfs.FS, backend Backend) Store {
+	t.Helper()
+	st, err := OpenStore("store", StoreOptions{
+		Backend:         backend,
+		FS:              fs,
+		WriteBufferSize: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func backends() []Backend { return []Backend{BackendRocks, BackendLevel} }
+
+func TestStorePutGetDel(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(string(b), func(t *testing.T) {
+			st := openTestStore(t, vfs.NewMemFS(), b)
+			defer st.Close()
+			if err := st.Put("alpha", []byte("1"), false); err != nil {
+				t.Fatal(err)
+			}
+			v, err := st.Get("alpha")
+			if err != nil || string(v) != "1" {
+				t.Fatalf("get: %q %v", v, err)
+			}
+			if _, err := st.Get("missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing: %v", err)
+			}
+			if err := st.Del("alpha"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Get("alpha"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted: %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreAppend(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(string(b), func(t *testing.T) {
+			st := openTestStore(t, vfs.NewMemFS(), b)
+			defer st.Close()
+			st.Append("log", []byte("one,"), false)
+			st.Append("log", []byte("two,"), false)
+			st.Append("log", []byte("three"), false)
+			v, err := st.Get("log")
+			if err != nil || string(v) != "one,two,three" {
+				t.Fatalf("append result: %q %v", v, err)
+			}
+		})
+	}
+}
+
+func TestStoreBatchReadYourWrites(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(string(b), func(t *testing.T) {
+			st := openTestStore(t, vfs.NewMemFS(), b)
+			defer st.Close()
+			if err := st.StartBatch(); err != nil {
+				t.Fatal(err)
+			}
+			st.Put("k", []byte("batched"), false)
+			// The write must be visible to the writer even while batched.
+			v, err := st.Get("k")
+			if err != nil || string(v) != "batched" {
+				t.Fatalf("read-your-writes: %q %v", v, err)
+			}
+			st.Del("k")
+			if _, err := st.Get("k"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("batched delete: %v", err)
+			}
+			st.Put("k2", []byte("kept"), false)
+			if err := st.StopBatch(); err != nil {
+				t.Fatal(err)
+			}
+			if v, err := st.Get("k2"); err != nil || string(v) != "kept" {
+				t.Fatalf("after stopBatch: %q %v", v, err)
+			}
+		})
+	}
+}
+
+func TestStoreBarrierDurability(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(string(b), func(t *testing.T) {
+			fs := vfs.NewMemFS()
+			st := openTestStore(t, fs, b)
+			payload := bytes.Repeat([]byte("d"), 4096)
+			for i := 0; i < 64; i++ {
+				if err := st.Put(fmt.Sprintf("key-%03d", i), payload, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.WriteBarrier(true); err != nil {
+				t.Fatal(err)
+			}
+			// Simulate a crash: reopen without Close.
+			st2 := openTestStore(t, fs, b)
+			defer st2.Close()
+			for i := 0; i < 64; i++ {
+				v, err := st2.Get(fmt.Sprintf("key-%03d", i))
+				if err != nil || !bytes.Equal(v, payload) {
+					t.Fatalf("key-%03d after barrier+crash: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRocksBackendWritesNoWAL(t *testing.T) {
+	st := openTestStore(t, vfs.NewMemFS(), BackendRocks)
+	defer st.Close()
+	st.Put("k", bytes.Repeat([]byte("v"), 1024), false)
+	st.WriteBarrier(false)
+	if s := st.EngineStats(); s.WALBytes != 0 {
+		t.Fatalf("rocks backend wrote %d WAL bytes", s.WALBytes)
+	}
+}
+
+func TestLevelBackendAlwaysWritesWAL(t *testing.T) {
+	st := openTestStore(t, vfs.NewMemFS(), BackendLevel)
+	defer st.Close()
+	st.Put("k", bytes.Repeat([]byte("v"), 1024), false)
+	st.WriteBarrier(false)
+	if s := st.EngineStats(); s.WALBytes == 0 {
+		t.Fatal("level backend must write the WAL (LevelDB cannot disable it)")
+	}
+}
+
+func TestLevelBatchingAmortizesWAL(t *testing.T) {
+	// One WAL record per barrier (batched) must produce fewer WAL bytes
+	// than one per put: the paper's reason for using WriteBatch.
+	walBytes := func(batched bool) int64 {
+		st := openTestStore(t, vfs.NewMemFS(), BackendLevel)
+		defer st.Close()
+		if batched {
+			st.StartBatch()
+		}
+		for i := 0; i < 100; i++ {
+			st.Put(fmt.Sprintf("k%03d", i), bytes.Repeat([]byte("v"), 100), false)
+		}
+		if batched {
+			st.StopBatch()
+		}
+		st.WriteBarrier(false)
+		return st.EngineStats().WALBytes
+	}
+	unbatched, batched := walBytes(false), walBytes(true)
+	if batched >= unbatched {
+		t.Fatalf("batched WAL bytes (%d) should be < unbatched (%d)", batched, unbatched)
+	}
+}
+
+func TestSyncPutIsDurable(t *testing.T) {
+	fs := vfs.NewMemFS()
+	st := openTestStore(t, fs, BackendRocks)
+	if err := st.Put("sync-key", []byte("durable"), true); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openTestStore(t, fs, BackendRocks)
+	defer st2.Close()
+	if v, err := st2.Get("sync-key"); err != nil || string(v) != "durable" {
+		t.Fatalf("sync put not durable: %q %v", v, err)
+	}
+}
+
+func TestOpenStoreValidation(t *testing.T) {
+	if _, err := OpenStore("x", StoreOptions{}); err == nil {
+		t.Fatal("missing FS should error")
+	}
+	if _, err := OpenStore("x", StoreOptions{FS: vfs.NewMemFS(), Backend: "bogus"}); err == nil {
+		t.Fatal("unknown backend should error")
+	}
+}
+
+func TestStoreLargeValuesAcrossBarriers(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(string(b), func(t *testing.T) {
+			st := openTestStore(t, vfs.NewMemFS(), b)
+			defer st.Close()
+			// Values larger than the write buffer force rotations mid-put.
+			big := bytes.Repeat([]byte("B"), 256<<10)
+			for i := 0; i < 8; i++ {
+				if err := st.Put(fmt.Sprintf("big-%d", i), big, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st.WriteBarrier(true)
+			for i := 0; i < 8; i++ {
+				v, err := st.Get(fmt.Sprintf("big-%d", i))
+				if err != nil || !bytes.Equal(v, big) {
+					t.Fatalf("big-%d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreScan(t *testing.T) {
+	for _, b := range backends() {
+		t.Run(string(b), func(t *testing.T) {
+			st := openTestStore(t, vfs.NewMemFS(), b)
+			defer st.Close()
+			for i := 0; i < 20; i++ {
+				st.Put(fmt.Sprintf("scan/%03d", i), []byte(fmt.Sprintf("v%d", i)), false)
+			}
+			st.Put("other/key", []byte("x"), false)
+			st.Del("scan/005")
+			var keys []string
+			err := st.Scan("scan/", func(k string, v []byte) bool {
+				keys = append(keys, k)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 19 {
+				t.Fatalf("scanned %d keys: %v", len(keys), keys)
+			}
+			for i := 1; i < len(keys); i++ {
+				if keys[i] <= keys[i-1] {
+					t.Fatalf("scan out of order at %d: %v", i, keys)
+				}
+			}
+			for _, k := range keys {
+				if k == "scan/005" || k == "other/key" {
+					t.Fatalf("unexpected key %s", k)
+				}
+			}
+			// Early stop.
+			count := 0
+			st.Scan("scan/", func(string, []byte) bool { count++; return count < 5 })
+			if count != 5 {
+				t.Fatalf("early stop visited %d", count)
+			}
+		})
+	}
+}
+
+func TestLevelStoreScanSeesBatchedWrites(t *testing.T) {
+	st := openTestStore(t, vfs.NewMemFS(), BackendLevel)
+	defer st.Close()
+	st.StartBatch()
+	st.Put("b/1", []byte("x"), false)
+	st.Put("b/2", []byte("y"), false)
+	found := 0
+	if err := st.Scan("b/", func(string, []byte) bool { found++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if found != 2 {
+		t.Fatalf("scan saw %d batched keys", found)
+	}
+	st.StopBatch()
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+
+	"lsmio/internal/vfs"
+)
+
+// StoreFS adapts an LSMIO store as a vfs.FS: every "file" is an FStream
+// whose bytes live in the LSM-tree. This is the layering the paper cites
+// from PLFS — a byte-oriented format (HDF5, say) runs unmodified on top
+// of the log-structured store, so its small interleaved writes become
+// sequential LSM appends underneath (cf. Mehta et al., "A Plugin for
+// HDF5 using PLFS", the paper's reference [25]).
+type StoreFS struct {
+	sys *FStreamSystem
+}
+
+// NewStoreFS wraps a Manager as a filesystem.
+func NewStoreFS(mgr *Manager) *StoreFS {
+	return &StoreFS{sys: NewFStreamSystem(mgr)}
+}
+
+var _ vfs.FS = (*StoreFS)(nil)
+
+func storePath(name string) string {
+	name = path.Clean(strings.TrimPrefix(name, "/"))
+	if name == "" {
+		name = "."
+	}
+	return name
+}
+
+// Create implements vfs.FS.
+func (s *StoreFS) Create(name string) (vfs.File, error) {
+	f, err := s.sys.Open(storePath(name), ModeWrite)
+	if err != nil {
+		return nil, err
+	}
+	return &storeFile{f: f}, nil
+}
+
+// Open implements vfs.FS: unlike FStream's ReadWrite mode, opening a
+// stream that was never created is an error (POSIX semantics).
+func (s *StoreFS) Open(name string) (vfs.File, error) {
+	name = storePath(name)
+	if !s.sys.Exists(name) {
+		return nil, fmt.Errorf("open %s: %w", name, vfs.ErrNotExist)
+	}
+	f, err := s.sys.Open(name, ModeReadWrite)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, fmt.Errorf("open %s: %w", name, vfs.ErrNotExist)
+		}
+		return nil, err
+	}
+	return &storeFile{f: f}, nil
+}
+
+// Remove implements vfs.FS: it deletes the stream's metadata and chunks.
+func (s *StoreFS) Remove(name string) error {
+	name = storePath(name)
+	if !s.sys.Exists(name) {
+		return fmt.Errorf("remove %s: %w", name, vfs.ErrNotExist)
+	}
+	mgr := s.sys.mgr
+	// Collect first, then delete (Scan holds an iterator snapshot).
+	var keys []string
+	prefix := "f:" + name + ":"
+	err := mgr.ReadBatch(prefix, func(key string, _ []byte) bool {
+		keys = append(keys, key)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := mgr.Del(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rename implements vfs.FS by re-keying the stream's records.
+func (s *StoreFS) Rename(oldName, newName string) error {
+	oldName, newName = storePath(oldName), storePath(newName)
+	if !s.sys.Exists(oldName) {
+		return fmt.Errorf("rename %s: %w", oldName, vfs.ErrNotExist)
+	}
+	mgr := s.sys.mgr
+	oldPrefix := "f:" + oldName + ":"
+	newPrefix := "f:" + newName + ":"
+	type kv struct {
+		key string
+		val []byte
+	}
+	var entries []kv
+	err := mgr.ReadBatch(oldPrefix, func(key string, value []byte) bool {
+		entries = append(entries, kv{key, value})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := mgr.Put(newPrefix+strings.TrimPrefix(e.key, oldPrefix), e.val); err != nil {
+			return err
+		}
+	}
+	for _, e := range entries {
+		if err := mgr.Del(e.key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MkdirAll implements vfs.FS. Directories are implicit in key names.
+func (s *StoreFS) MkdirAll(string) error { return nil }
+
+// names lists all stream names (from their metadata keys).
+func (s *StoreFS) names() ([]string, error) {
+	var out []string
+	err := s.sys.mgr.ReadBatch("f:", func(key string, _ []byte) bool {
+		if strings.HasSuffix(key, ":meta") {
+			out = append(out, strings.TrimSuffix(strings.TrimPrefix(key, "f:"), ":meta"))
+		}
+		return true
+	})
+	return out, err
+}
+
+// List implements vfs.FS.
+func (s *StoreFS) List(dir string) ([]string, error) {
+	dir = storePath(dir)
+	all, err := s.names()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, n := range all {
+		var rest string
+		if dir == "." {
+			rest = n
+		} else if strings.HasPrefix(n, dir+"/") {
+			rest = strings.TrimPrefix(n, dir+"/")
+		} else {
+			continue
+		}
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		seen[rest] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stat implements vfs.FS.
+func (s *StoreFS) Stat(name string) (int64, error) {
+	f, err := s.Open(name)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return f.Size()
+}
+
+// Exists implements vfs.FS.
+func (s *StoreFS) Exists(name string) bool { return s.sys.Exists(storePath(name)) }
+
+// Barrier flushes the underlying store (the write-barrier hook the LSMIO
+// stores expose; adapters compose).
+func (s *StoreFS) Barrier() error { return s.sys.WriteBarrier() }
+
+// storeFile adapts FStream to vfs.File.
+type storeFile struct {
+	f *FStream
+}
+
+func (sf *storeFile) Name() string { return sf.f.Name() }
+
+func (sf *storeFile) Read(p []byte) (int, error) { return sf.f.Read(p) }
+
+func (sf *storeFile) Write(p []byte) (int, error) { return sf.f.Write(p) }
+
+func (sf *storeFile) ReadAt(p []byte, off int64) (int, error) {
+	save := sf.f.TellP()
+	sf.f.SeekP(off, io.SeekStart)
+	n, err := sf.f.Read(p)
+	sf.f.SeekP(save, io.SeekStart)
+	return n, err
+}
+
+func (sf *storeFile) WriteAt(p []byte, off int64) (int, error) {
+	save := sf.f.TellP()
+	sf.f.SeekP(off, io.SeekStart)
+	n, err := sf.f.Write(p)
+	sf.f.SeekP(save, io.SeekStart)
+	return n, err
+}
+
+func (sf *storeFile) Seek(offset int64, whence int) (int64, error) {
+	pos := sf.f.SeekP(offset, whence)
+	if sf.f.Fail() {
+		err := sf.f.Err()
+		sf.f.ClearError()
+		return pos, err
+	}
+	return pos, nil
+}
+
+func (sf *storeFile) Size() (int64, error) {
+	// Include any buffered-but-unflushed growth.
+	return sf.f.Size(), nil
+}
+
+func (sf *storeFile) Sync() error { return sf.f.Flush() }
+
+func (sf *storeFile) Truncate(size int64) error { return sf.f.Truncate(size) }
+
+func (sf *storeFile) Close() error { return sf.f.Close() }

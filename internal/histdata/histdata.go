@@ -1,0 +1,87 @@
+// Package histdata holds the historical Top500 #1-system data behind the
+// paper's Figure 1: headline compute performance versus parallel-file-
+// system bandwidth from the start of the PetaFLOP era (Roadrunner, 2008)
+// to the ExaFLOP era (Frontier, 2022/23), and the derived growth and
+// doubling-time numbers quoted in the paper's introduction.
+package histdata
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// System is one year's #1 machine with its storage bandwidth.
+type System struct {
+	Year     int
+	Name     string
+	PFlops   float64 // Rmax, PFLOP/s
+	IOGBs    float64 // headline PFS bandwidth, GB/s (primary tier)
+	IOGBsHDD float64 // HDD tier where distinct (0 = same as IOGBs)
+}
+
+// Figure1 is the series the paper plots. Sources: Top500 lists and the
+// storage-system references cited in the paper's introduction (Roadrunner
+// 216 GB/s; Frontier 10 TB/s SSD tier, 5.5 TB/s HDD tier).
+func Figure1() []System {
+	return []System{
+		{2008, "Roadrunner", 1.026, 216, 0},
+		{2009, "Jaguar", 1.759, 240, 0},
+		{2010, "Tianhe-1A", 2.566, 280, 0},
+		{2011, "K computer", 10.51, 965, 0},
+		{2012, "Titan", 17.59, 1000, 0},
+		{2013, "Tianhe-2", 33.86, 1000, 0},
+		{2016, "Sunway TaihuLight", 93.01, 288, 0},
+		{2018, "Summit", 143.5, 2500, 0},
+		{2020, "Fugaku", 442.0, 1500, 0},
+		{2022, "Frontier", 1102.0, 10000, 5500},
+		{2023, "Frontier", 1194.0, 10000, 5500},
+	}
+}
+
+// Growth summarizes the paper's headline factors between the first and
+// last entries.
+type Growth struct {
+	ComputeFactor     float64 // paper: ~1074.1x
+	IOFactorSSD       float64 // paper: ~46.3x
+	IOFactorHDD       float64 // paper: ~25.5x
+	ComputeDoublingMo float64 // paper: ~18 months
+	IODoublingMo      float64 // paper: ~36 months
+}
+
+// ComputeGrowth derives the growth factors and doubling times from the
+// series.
+func ComputeGrowth(series []System) Growth {
+	first, last := series[0], series[len(series)-1]
+	years := float64(last.Year - first.Year)
+	g := Growth{
+		ComputeFactor: last.PFlops / first.PFlops,
+		IOFactorSSD:   last.IOGBs / first.IOGBs,
+	}
+	hdd := last.IOGBsHDD
+	if hdd == 0 {
+		hdd = last.IOGBs
+	}
+	g.IOFactorHDD = hdd / first.IOGBs
+	g.ComputeDoublingMo = years * 12 * math.Ln2 / math.Log(g.ComputeFactor)
+	g.IODoublingMo = years * 12 * math.Ln2 / math.Log(g.IOFactorSSD)
+	return g
+}
+
+// Table renders the figure's data as aligned text.
+func Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-18s %12s %14s\n", "Year", "System", "PFLOP/s", "PFS GB/s")
+	for _, s := range Figure1() {
+		io := fmt.Sprintf("%.0f", s.IOGBs)
+		if s.IOGBsHDD > 0 {
+			io = fmt.Sprintf("%.0f/%.0f", s.IOGBs, s.IOGBsHDD)
+		}
+		fmt.Fprintf(&b, "%-6d %-18s %12.3f %14s\n", s.Year, s.Name, s.PFlops, io)
+	}
+	g := ComputeGrowth(Figure1())
+	fmt.Fprintf(&b, "\ncompute growth %.1fx (doubling ~%.0f months); ", g.ComputeFactor, g.ComputeDoublingMo)
+	fmt.Fprintf(&b, "I/O growth %.1fx SSD / %.1fx HDD (doubling ~%.0f months)\n",
+		g.IOFactorSSD, g.IOFactorHDD, g.IODoublingMo)
+	return b.String()
+}

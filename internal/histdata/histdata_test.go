@@ -1,0 +1,73 @@
+package histdata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Anchors(t *testing.T) {
+	series := Figure1()
+	first := series[0]
+	if first.Year != 2008 || first.Name != "Roadrunner" || first.IOGBs != 216 {
+		t.Fatalf("first entry: %+v", first)
+	}
+	var frontier2022 *System
+	for i := range series {
+		if series[i].Year == 2022 {
+			frontier2022 = &series[i]
+		}
+	}
+	if frontier2022 == nil || frontier2022.IOGBs != 10000 || frontier2022.IOGBsHDD != 5500 {
+		t.Fatalf("2022 entry: %+v", frontier2022)
+	}
+}
+
+func TestGrowthMatchesPaperHeadlines(t *testing.T) {
+	// The paper quotes ~1074.1x compute, ~46.3x SSD I/O, ~25.5x HDD I/O
+	// between Roadrunner (2008) and Frontier (2022).
+	series := Figure1()
+	upto2022 := series[:0:0]
+	for _, s := range series {
+		if s.Year <= 2022 {
+			upto2022 = append(upto2022, s)
+		}
+	}
+	g := ComputeGrowth(upto2022)
+	if g.ComputeFactor < 1050 || g.ComputeFactor > 1100 {
+		t.Fatalf("compute factor = %.1f, paper says ~1074.1", g.ComputeFactor)
+	}
+	if g.IOFactorSSD < 45 || g.IOFactorSSD > 48 {
+		t.Fatalf("SSD I/O factor = %.1f, paper says ~46.3", g.IOFactorSSD)
+	}
+	if g.IOFactorHDD < 24 || g.IOFactorHDD > 27 {
+		t.Fatalf("HDD I/O factor = %.1f, paper says ~25.5", g.IOFactorHDD)
+	}
+	// Doubling times: compute ~18 months, I/O ~36 months.
+	if g.ComputeDoublingMo < 14 || g.ComputeDoublingMo > 22 {
+		t.Fatalf("compute doubling = %.1f months, paper says ~18", g.ComputeDoublingMo)
+	}
+	if g.IODoublingMo < 28 || g.IODoublingMo > 44 {
+		t.Fatalf("I/O doubling = %.1f months, paper says ~36", g.IODoublingMo)
+	}
+}
+
+func TestMonotoneYears(t *testing.T) {
+	series := Figure1()
+	for i := 1; i < len(series); i++ {
+		if series[i].Year <= series[i-1].Year {
+			t.Fatalf("years not increasing at %d", i)
+		}
+		if series[i].PFlops < series[i-1].PFlops {
+			t.Fatalf("#1 system compute regressed at %d", i)
+		}
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	tbl := Table()
+	for _, want := range []string{"Roadrunner", "Frontier", "compute growth", "I/O growth"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// SSTable data and index blocks use the LevelDB block format: entries with
+// shared-prefix key compression, restart points every N entries, and a
+// trailer listing restart offsets.
+//
+//	entry     := varint(shared) varint(unshared) varint(valueLen)
+//	             keyDelta[unshared] value[valueLen]
+//	trailer   := restartOffset*uint32 ... numRestarts:uint32
+
+// blockBuilder accumulates sorted (internalKey, value) entries.
+type blockBuilder struct {
+	restartInterval int
+	buf             bytes.Buffer
+	restarts        []uint32
+	counter         int
+	lastKey         []byte
+	entries         int
+}
+
+func newBlockBuilder(restartInterval int) *blockBuilder {
+	b := &blockBuilder{restartInterval: restartInterval}
+	b.reset()
+	return b
+}
+
+func (b *blockBuilder) reset() {
+	b.buf.Reset()
+	b.restarts = b.restarts[:0]
+	b.restarts = append(b.restarts, 0)
+	b.counter = 0
+	b.lastKey = b.lastKey[:0]
+	b.entries = 0
+}
+
+func (b *blockBuilder) empty() bool { return b.entries == 0 }
+
+// estimatedSize returns the built block size so far.
+func (b *blockBuilder) estimatedSize() int {
+	return b.buf.Len() + 4*len(b.restarts) + 4
+}
+
+func (b *blockBuilder) add(key, value []byte) {
+	shared := 0
+	if b.counter < b.restartInterval {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && b.lastKey[shared] == key[shared] {
+			shared++
+		}
+	} else {
+		b.restarts = append(b.restarts, uint32(b.buf.Len()))
+		b.counter = 0
+	}
+	var tmp [3 * binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(tmp[:], uint64(shared))
+	n += binary.PutUvarint(tmp[n:], uint64(len(key)-shared))
+	n += binary.PutUvarint(tmp[n:], uint64(len(value)))
+	b.buf.Write(tmp[:n])
+	b.buf.Write(key[shared:])
+	b.buf.Write(value)
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.counter++
+	b.entries++
+}
+
+// finish appends the restart trailer and returns the raw block contents.
+func (b *blockBuilder) finish() []byte {
+	for _, r := range b.restarts {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], r)
+		b.buf.Write(tmp[:])
+	}
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(b.restarts)))
+	b.buf.Write(tmp[:])
+	return b.buf.Bytes()
+}
+
+// block is a parsed read-only block.
+type block struct {
+	data        []byte // entries only (trailer stripped)
+	restarts    []uint32
+	numRestarts int
+}
+
+func parseBlock(raw []byte) (*block, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("lsm: block too short (%d bytes)", len(raw))
+	}
+	numRestarts := int(binary.LittleEndian.Uint32(raw[len(raw)-4:]))
+	trailer := 4 * (numRestarts + 1)
+	if numRestarts < 0 || trailer > len(raw) {
+		return nil, fmt.Errorf("lsm: corrupt block restart count %d", numRestarts)
+	}
+	restartStart := len(raw) - trailer
+	restarts := make([]uint32, numRestarts)
+	for i := 0; i < numRestarts; i++ {
+		restarts[i] = binary.LittleEndian.Uint32(raw[restartStart+4*i:])
+	}
+	return &block{data: raw[:restartStart], restarts: restarts, numRestarts: numRestarts}, nil
+}
+
+// blockIterator walks a block's entries in order (both directions).
+type blockIterator struct {
+	b        *block
+	off      int // offset of the NEXT entry to decode
+	curStart int // offset where the current entry began
+	key      []byte
+	value    []byte
+	valid    bool
+	err      error
+}
+
+func (b *block) iterator() *blockIterator { return &blockIterator{b: b} }
+
+// decodeNext parses the entry at it.off, extending it.key per prefix
+// compression rules.
+func (it *blockIterator) decodeNext() bool {
+	if it.off >= len(it.b.data) {
+		it.valid = false
+		return false
+	}
+	it.curStart = it.off
+	data := it.b.data[it.off:]
+	shared, n1 := binary.Uvarint(data)
+	if n1 <= 0 {
+		it.fail("bad shared varint")
+		return false
+	}
+	unshared, n2 := binary.Uvarint(data[n1:])
+	if n2 <= 0 {
+		it.fail("bad unshared varint")
+		return false
+	}
+	valueLen, n3 := binary.Uvarint(data[n1+n2:])
+	if n3 <= 0 {
+		it.fail("bad value-length varint")
+		return false
+	}
+	hdr := n1 + n2 + n3
+	if uint64(len(data)) < uint64(hdr)+unshared+valueLen {
+		it.fail("entry overruns block")
+		return false
+	}
+	if uint64(shared) > uint64(len(it.key)) {
+		it.fail("shared prefix longer than previous key")
+		return false
+	}
+	it.key = append(it.key[:shared], data[hdr:hdr+int(unshared)]...)
+	if len(it.key) < 8 {
+		// Every valid entry carries an 8-byte internal-key trailer; a
+		// shorter key means the block is corrupt (and would panic the
+		// comparator).
+		it.fail("key shorter than internal trailer")
+		return false
+	}
+	it.value = data[hdr+int(unshared) : hdr+int(unshared)+int(valueLen)]
+	it.off += hdr + int(unshared) + int(valueLen)
+	it.valid = true
+	return true
+}
+
+func (it *blockIterator) fail(msg string) {
+	it.err = fmt.Errorf("lsm: corrupt block: %s", msg)
+	it.valid = false
+}
+
+func (it *blockIterator) SeekToFirst() {
+	it.off = 0
+	it.key = it.key[:0]
+	it.decodeNext()
+}
+
+// Seek positions at the first entry with internal key >= target.
+func (it *blockIterator) Seek(target internalKey) {
+	// Binary search restart points for the last restart whose key < target.
+	n := it.b.numRestarts
+	idx := sort.Search(n, func(i int) bool {
+		k, ok := it.b.keyAtRestart(int(it.b.restarts[i]))
+		if !ok || len(k) < 8 {
+			return true
+		}
+		return compareIKeys(internalKey(k), target) >= 0
+	})
+	// Start from the restart before idx (entries there may still be < target).
+	start := 0
+	if idx > 0 {
+		start = int(it.b.restarts[idx-1])
+	}
+	it.off = start
+	it.key = it.key[:0]
+	for it.decodeNext() {
+		if compareIKeys(internalKey(it.key), target) >= 0 {
+			return
+		}
+	}
+}
+
+// keyAtRestart decodes the full key stored at a restart offset (restart
+// entries always have shared == 0).
+func (b *block) keyAtRestart(off int) ([]byte, bool) {
+	if off >= len(b.data) {
+		return nil, false
+	}
+	data := b.data[off:]
+	shared, n1 := binary.Uvarint(data)
+	if n1 <= 0 || shared != 0 {
+		return nil, false
+	}
+	unshared, n2 := binary.Uvarint(data[n1:])
+	if n2 <= 0 {
+		return nil, false
+	}
+	_, n3 := binary.Uvarint(data[n1+n2:])
+	if n3 <= 0 {
+		return nil, false
+	}
+	hdr := n1 + n2 + n3
+	if uint64(len(data)) < uint64(hdr)+unshared {
+		return nil, false
+	}
+	return data[hdr : hdr+int(unshared)], true
+}
+
+func (it *blockIterator) Next() {
+	if it.valid {
+		it.decodeNext()
+	}
+}
+
+// SeekToLast positions at the final entry.
+func (it *blockIterator) SeekToLast() {
+	if it.b.numRestarts == 0 || len(it.b.data) == 0 {
+		it.valid = false
+		return
+	}
+	it.scanForward(int(it.b.restarts[it.b.numRestarts-1]), len(it.b.data))
+}
+
+// Prev positions at the entry preceding the current one.
+func (it *blockIterator) Prev() {
+	if !it.valid {
+		return
+	}
+	target := it.curStart
+	if target == 0 {
+		it.valid = false
+		return
+	}
+	// Find the last restart strictly before the current entry, then scan
+	// forward to the entry that ends at target.
+	idx := sort.Search(it.b.numRestarts, func(i int) bool {
+		return int(it.b.restarts[i]) >= target
+	})
+	start := 0
+	if idx > 0 {
+		start = int(it.b.restarts[idx-1])
+	}
+	it.scanForward(start, target)
+}
+
+// scanForward decodes entries from a restart offset until the entry whose
+// successor starts at stop (or the last decodable entry before stop).
+func (it *blockIterator) scanForward(start, stop int) {
+	it.off = start
+	it.key = it.key[:0]
+	for it.decodeNext() {
+		if it.off >= stop {
+			return
+		}
+	}
+}
+
+func (it *blockIterator) Valid() bool       { return it.valid }
+func (it *blockIterator) IKey() internalKey { return internalKey(it.key) }
+func (it *blockIterator) Value() []byte     { return it.value }
+func (it *blockIterator) Close() error      { return it.err }

@@ -1,0 +1,88 @@
+package lsm
+
+// Bloom filter, the LevelDB construction: k probes derived from a single
+// 32-bit hash by delta rotation (Kirsch–Mitzenmacher double hashing).
+
+// bloomHash is LevelDB's murmur-flavoured byte hash.
+func bloomHash(b []byte) uint32 {
+	const (
+		seed = 0xbc9f1d34
+		m    = 0xc6a4a793
+	)
+	h := uint32(seed) ^ uint32(len(b))*m
+	for ; len(b) >= 4; b = b[4:] {
+		h += uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+		h *= m
+		h ^= h >> 16
+	}
+	switch len(b) {
+	case 3:
+		h += uint32(b[2]) << 16
+		fallthrough
+	case 2:
+		h += uint32(b[1]) << 8
+		fallthrough
+	case 1:
+		h += uint32(b[0])
+		h *= m
+		h ^= h >> 24
+	}
+	return h
+}
+
+// buildBloom creates a filter over the given keys with bitsPerKey bits per
+// key. The last byte stores the probe count.
+func buildBloom(keys [][]byte, bitsPerKey int) []byte {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	k := uint8(float64(bitsPerKey) * 69 / 100) // bitsPerKey * ln(2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	bits := len(keys) * bitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	nBytes := (bits + 7) / 8
+	bits = nBytes * 8
+	filter := make([]byte, nBytes+1)
+	filter[nBytes] = k
+	for _, key := range keys {
+		h := bloomHash(key)
+		delta := h>>17 | h<<15
+		for j := uint8(0); j < k; j++ {
+			pos := h % uint32(bits)
+			filter[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return filter
+}
+
+// bloomMayContain reports whether key may be in the set the filter was
+// built over. False means definitely absent.
+func bloomMayContain(filter, key []byte) bool {
+	if len(filter) < 2 {
+		return true // degenerate filter: treat as match-all
+	}
+	nBytes := len(filter) - 1
+	bits := uint32(nBytes * 8)
+	k := filter[nBytes]
+	if k > 30 {
+		return true // reserved for future encodings
+	}
+	h := bloomHash(key)
+	delta := h>>17 | h<<15
+	for j := uint8(0); j < k; j++ {
+		pos := h % bits
+		if filter[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}

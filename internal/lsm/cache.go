@@ -1,0 +1,95 @@
+package lsm
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a size-bounded LRU over decoded blocks, shared by all the
+// tables of one DB. The paper's configuration disables it for checkpoint
+// data; the default configuration enables it, and the ablation benchmarks
+// compare the two.
+type blockCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	order    *list.List // front = most recent
+	items    map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+type cacheKey struct {
+	fileNum uint64
+	offset  int64
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	block *block
+	size  int64
+}
+
+func newBlockCache(capacity int64) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *blockCache) get(fileNum uint64, offset int64) (*block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{fileNum, offset}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).block, true
+}
+
+func (c *blockCache) put(fileNum uint64, offset int64, b *block, size int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{fileNum, offset}
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, block: b, size: size})
+	c.items[key] = el
+	c.used += size
+	for c.used > c.capacity && c.order.Len() > 1 {
+		oldest := c.order.Back()
+		ent := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.items, ent.key)
+		c.used -= ent.size
+	}
+}
+
+// evictFile drops all cached blocks of a deleted table.
+func (c *blockCache) evictFile(fileNum uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.fileNum == fileNum {
+			c.order.Remove(el)
+			delete(c.items, ent.key)
+			c.used -= ent.size
+		}
+		el = next
+	}
+}
+
+// stats returns cumulative hit/miss counts.
+func (c *blockCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,320 @@
+package lsm
+
+import (
+	"bytes"
+)
+
+// Leveled compaction, LevelDB-style: L0 tables (which may overlap) are
+// merged with overlapping L1 tables when their count reaches the trigger;
+// deeper levels compact one file at a time, round-robin, when their
+// cumulative size exceeds the level target. The LSMIO checkpoint
+// configuration disables all of this — checkpoints are write-once — but the
+// engine implements it fully for general workloads and the ablation
+// benchmarks.
+
+// maxBytesForLevel returns the size target of a level.
+func (db *DB) maxBytesForLevel(level int) int64 {
+	size := db.opts.BaseLevelSize
+	for l := 1; l < level; l++ {
+		size *= int64(db.opts.LevelSizeMultiplier)
+	}
+	return size
+}
+
+// targetFileSize is the output-table split size for a compaction.
+func (db *DB) targetFileSize() int64 {
+	s := int64(db.opts.WriteBufferSize) / 2
+	if s < 2<<20 {
+		s = 2 << 20
+	}
+	return s
+}
+
+// needsCompactionLocked reports whether any level is over its trigger.
+func (db *DB) needsCompactionLocked() bool {
+	if db.opts.DisableCompaction {
+		return false
+	}
+	v := db.vs.current
+	if len(v.levels[0]) >= db.opts.L0CompactionTrigger {
+		return true
+	}
+	for l := 1; l < numLevels-1; l++ {
+		if v.levelBytes(l) > db.maxBytesForLevel(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeScheduleCompaction starts the background compactor when needed.
+// Called with the lock held.
+func (db *DB) maybeScheduleCompaction() {
+	if db.compacting || db.closed || !db.needsCompactionLocked() {
+		return
+	}
+	db.compacting = true
+	db.plat.Go("lsm-compact", db.backgroundCompact)
+}
+
+func (db *DB) backgroundCompact() {
+	db.plat.Lock()
+	for db.needsCompactionLocked() && db.bgErr == nil && !db.closed {
+		if err := db.compactOnceLocked(); err != nil {
+			db.bgErr = err
+			break
+		}
+	}
+	db.compacting = false
+	db.plat.Signal()
+	db.plat.Unlock()
+}
+
+// pickCompaction chooses inputs. Called with the lock held.
+func (db *DB) pickCompaction() (level int, inputs, overlaps []*fileMeta) {
+	v := db.vs.current
+	if len(v.levels[0]) >= db.opts.L0CompactionTrigger {
+		// Take every L0 file (they may all overlap) plus the L1 files
+		// their combined range touches.
+		inputs = append(inputs, v.levels[0]...)
+		lo, hi := keyRange(inputs)
+		overlaps = v.overlapping(1, lo, hi)
+		return 0, inputs, overlaps
+	}
+	for l := 1; l < numLevels-1; l++ {
+		if v.levelBytes(l) <= db.maxBytesForLevel(l) {
+			continue
+		}
+		// Round-robin: first file after the last compaction's end point.
+		files := v.levels[l]
+		var pick *fileMeta
+		ptr := db.vs.compactPointer[l]
+		for _, f := range files {
+			if !ptr.valid() || compareIKeys(f.largest, ptr) > 0 {
+				pick = f
+				break
+			}
+		}
+		if pick == nil {
+			pick = files[0]
+		}
+		inputs = []*fileMeta{pick}
+		lo, hi := keyRange(inputs)
+		overlaps = v.overlapping(l+1, lo, hi)
+		return l, inputs, overlaps
+	}
+	return -1, nil, nil
+}
+
+// keyRange returns the user-key bounds spanned by files.
+func keyRange(files []*fileMeta) (lo, hi []byte) {
+	for _, f := range files {
+		if lo == nil || bytes.Compare(f.smallest.userKey(), lo) < 0 {
+			lo = f.smallest.userKey()
+		}
+		if hi == nil || bytes.Compare(f.largest.userKey(), hi) > 0 {
+			hi = f.largest.userKey()
+		}
+	}
+	return lo, hi
+}
+
+// compactOnceLocked runs one compaction step. The lock is released around
+// the merge I/O.
+func (db *DB) compactOnceLocked() error {
+	level, inputs, overlaps := db.pickCompaction()
+	if level < 0 {
+		return nil
+	}
+	return db.runCompactionLocked(level, inputs, overlaps)
+}
+
+// runCompactionLocked merges inputs (level) + overlaps (level+1) into new
+// tables at level+1.
+func (db *DB) runCompactionLocked(level int, inputs, overlaps []*fileMeta) error {
+	outLevel := level + 1
+	all := append(append([]*fileMeta(nil), inputs...), overlaps...)
+	// Tombstones can be dropped when no deeper level holds data under the
+	// compaction's key range.
+	lo, hi := keyRange(all)
+	dropTombstones := true
+	for l := outLevel + 1; l < numLevels; l++ {
+		if len(db.vs.current.overlapping(l, lo, hi)) > 0 {
+			dropTombstones = false
+			break
+		}
+	}
+	smallestSnapshot := db.smallestSnapshotLocked()
+	// The number of output tables is unknown up front, so the merge
+	// re-takes the lock briefly for each file-number allocation and marks
+	// each output pending so the obsolete-file sweep leaves it alone.
+	var outNums []uint64
+	db.plat.Unlock()
+	metas, err := db.mergeTables(level, all, dropTombstones, smallestSnapshot, func() uint64 {
+		db.plat.Lock()
+		defer db.plat.Unlock()
+		n := db.vs.newFileNum()
+		db.pendingOutputs[n] = true
+		outNums = append(outNums, n)
+		return n
+	})
+	db.plat.Lock()
+	defer func() {
+		for _, n := range outNums {
+			delete(db.pendingOutputs, n)
+		}
+	}()
+	if err != nil {
+		return err
+	}
+	edit := &versionEdit{}
+	for _, f := range inputs {
+		edit.Deleted = append(edit.Deleted, deletedFile{Level: level, Num: f.num})
+	}
+	for _, f := range overlaps {
+		edit.Deleted = append(edit.Deleted, deletedFile{Level: outLevel, Num: f.num})
+	}
+	var totalOut int64
+	for _, m := range metas {
+		edit.Added = append(edit.Added, addedFileFromMeta(outLevel, m))
+		totalOut += m.size
+	}
+	next := db.vs.nextFileNum
+	edit.NextFileNum = &next
+	if _, err := db.vs.apply(edit); err != nil {
+		return err
+	}
+	if err := db.vs.logEdit(edit); err != nil {
+		return err
+	}
+	if len(all) > 0 {
+		db.vs.compactPointer[level] = append(internalKey(nil), all[0].largest...)
+	}
+	db.stats.Compactions++
+	db.stats.BytesCompacted += totalOut
+	db.deleteObsoleteLocked()
+	db.plat.Signal()
+	return nil
+}
+
+// mergeTables merge-sorts the input tables into new output tables,
+// keeping the newest entry per user key plus any older versions still
+// visible to a snapshot at or above smallestSnapshot. Called without the
+// lock.
+func (db *DB) mergeTables(level int, inputs []*fileMeta, dropTombstones bool, smallestSnapshot seqNum, allocNum func() uint64) ([]tableMeta, error) {
+	children := make([]internalIterator, 0, len(inputs))
+	for _, fm := range inputs {
+		t, err := db.getTable(fm.num)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, t.iterator())
+	}
+	merge := newMergingIterator(children)
+	defer merge.Close()
+
+	var metas []tableMeta
+	var w *tableWriter
+	var outFile interface{ Close() error }
+	var lastUser []byte
+	haveLast := false
+	// lastSeqForKey is the sequence of the previous kept entry for the
+	// current user key (maxSeq when this is the key's first entry).
+	lastSeqForKey := maxSeq
+	target := db.targetFileSize()
+
+	finishOutput := func() error {
+		if w == nil {
+			return nil
+		}
+		meta, err := w.finish()
+		if err != nil {
+			return err
+		}
+		if err := outFile.Close(); err != nil {
+			return err
+		}
+		metas = append(metas, meta)
+		w = nil
+		return nil
+	}
+
+	for merge.SeekToFirst(); merge.Valid(); merge.Next() {
+		ik := merge.IKey()
+		uk := ik.userKey()
+		if !haveLast || !bytes.Equal(uk, lastUser) {
+			lastUser = append(lastUser[:0], uk...)
+			haveLast = true
+			lastSeqForKey = maxSeq
+		}
+		drop := false
+		if lastSeqForKey <= smallestSnapshot {
+			// A newer version of this key is already visible at the
+			// oldest snapshot: nothing can observe this one.
+			drop = true
+		} else if ik.kind() == kindDelete && dropTombstones && ik.seq() <= smallestSnapshot {
+			// Tombstone at the bottom of the tree, invisible to all
+			// snapshots once shadowing is resolved.
+			drop = true
+		}
+		lastSeqForKey = ik.seq()
+		if drop {
+			continue
+		}
+		if w == nil {
+			num := allocNum()
+			f, err := db.fs.Create(tableFileName(db.dir, num))
+			if err != nil {
+				return nil, err
+			}
+			w = newTableWriter(f, &db.opts, num)
+			outFile = f
+		}
+		w.add(ik, merge.Value())
+		if w.offset >= target {
+			if err := finishOutput(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := finishOutput(); err != nil {
+		return nil, err
+	}
+	return metas, nil
+}
+
+// compactEverythingLocked repeatedly compacts until all data sits in one
+// level. Called with the lock held (and compacting known false).
+func (db *DB) compactEverythingLocked() error {
+	db.compacting = true
+	defer func() {
+		db.compacting = false
+		db.plat.Signal()
+	}()
+	for {
+		v := db.vs.current
+		// Find the shallowest non-empty level; stop when only one level
+		// holds data.
+		shallowest, populated := -1, 0
+		for l := 0; l < numLevels; l++ {
+			if len(v.levels[l]) > 0 {
+				if shallowest < 0 {
+					shallowest = l
+				}
+				populated++
+			}
+		}
+		if populated <= 1 && (shallowest != 0 || len(v.levels[0]) <= 1) {
+			return nil
+		}
+		if shallowest == numLevels-1 {
+			return nil
+		}
+		inputs := append([]*fileMeta(nil), v.levels[shallowest]...)
+		lo, hi := keyRange(inputs)
+		overlaps := v.overlapping(shallowest+1, lo, hi)
+		if err := db.runCompactionLocked(shallowest, inputs, overlaps); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,721 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lsmio/internal/vfs"
+)
+
+func openTestDB(t *testing.T, fs vfs.FS, mutate func(*Options)) *DB {
+	t.Helper()
+	opts := DefaultOptions(fs)
+	if mutate != nil {
+		mutate(&opts)
+	}
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), nil)
+	defer db.Close()
+	if err := db.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("k1"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	if _, err := db.Get([]byte("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key err = %v", err)
+	}
+	if err := db.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k1")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key err = %v", err)
+	}
+	// Overwrite.
+	db.Put([]byte("k2"), []byte("a"))
+	db.Put([]byte("k2"), []byte("b"))
+	if v, _ := db.Get([]byte("k2")); string(v) != "b" {
+		t.Fatalf("overwrite: %q", v)
+	}
+}
+
+func TestGetAfterFlush(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), nil)
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if files := db.NumTableFiles(); files[0] == 0 {
+		t.Fatal("flush should have produced an L0 table")
+	}
+	for i := 0; i < 100; i++ {
+		v, err := db.Get([]byte(fmt.Sprintf("key-%03d", i)))
+		if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %d after flush: %q %v", i, v, err)
+		}
+	}
+	// A write after the flush shadows the table entry.
+	db.Put([]byte("key-050"), []byte("newer"))
+	if v, _ := db.Get([]byte("key-050")); string(v) != "newer" {
+		t.Fatalf("shadow: %q", v)
+	}
+	// A delete after the flush hides the table entry.
+	db.Delete([]byte("key-051"))
+	if _, err := db.Get([]byte("key-051")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete-after-flush: %v", err)
+	}
+}
+
+func TestAutomaticMemtableRotation(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), func(o *Options) {
+		o.WriteBufferSize = 32 << 10
+		o.DisableCompaction = true
+	})
+	defer db.Close()
+	val := bytes.Repeat([]byte("x"), 1024)
+	for i := 0; i < 200; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	files := db.NumTableFiles()
+	if files[0] < 3 {
+		t.Fatalf("expected several L0 files from rotation, got %d", files[0])
+	}
+	for i := 0; i < 200; i++ {
+		if v, err := db.Get([]byte(fmt.Sprintf("k%04d", i))); err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("k%04d: err=%v", i, err)
+		}
+	}
+	if s := db.Stats(); s.Flushes < 3 || s.BytesFlushed == 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestRecoveryFromWAL(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs, nil)
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("wal-%02d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("wal-10"))
+	// No flush: simulate a crash by reopening without Close.
+	db2 := openTestDB(t, fs, nil)
+	defer db2.Close()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("wal-%02d", i)
+		v, err := db2.Get([]byte(key))
+		if i == 10 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted key survived recovery: %q %v", v, err)
+			}
+			continue
+		}
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %s after recovery: %q %v", key, v, err)
+		}
+	}
+}
+
+func TestRecoveryWithoutWALNeedsFlush(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs, func(o *Options) { o.DisableWAL = true })
+	db.Put([]byte("flushed"), []byte("yes"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("unflushed"), []byte("lost"))
+	// Crash: reopen without Close or Flush.
+	db2 := openTestDB(t, fs, func(o *Options) { o.DisableWAL = true })
+	defer db2.Close()
+	if v, err := db2.Get([]byte("flushed")); err != nil || string(v) != "yes" {
+		t.Fatalf("flushed key: %q %v", v, err)
+	}
+	// Without a WAL, unflushed data is gone — the documented contract.
+	if _, err := db2.Get([]byte("unflushed")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unflushed key should be lost, got err=%v", err)
+	}
+}
+
+func TestRecoveryAcrossManyReopens(t *testing.T) {
+	fs := vfs.NewMemFS()
+	total := 0
+	for round := 0; round < 5; round++ {
+		db := openTestDB(t, fs, nil)
+		for i := 0; i < 30; i++ {
+			db.Put([]byte(fmt.Sprintf("r%d-k%02d", round, i)), []byte("v"))
+			total++
+		}
+		if round%2 == 0 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := openTestDB(t, fs, nil)
+	defer db.Close()
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		count++
+	}
+	if count != total {
+		t.Fatalf("recovered %d keys, want %d", count, total)
+	}
+}
+
+func TestIteratorOrderAndSnapshot(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), func(o *Options) { o.WriteBufferSize = 16 << 10 })
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("it-%03d", i)), bytes.Repeat([]byte("v"), 200))
+	}
+	db.Delete([]byte("it-050"))
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes after iterator creation must be invisible.
+	db.Put([]byte("it-200"), []byte("late"))
+	db.Put([]byte("it-000"), []byte("mutated"))
+
+	var keys []string
+	prev := ""
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		k := string(it.Key())
+		if k <= prev && prev != "" {
+			t.Fatalf("keys out of order: %s after %s", k, prev)
+		}
+		prev = k
+		keys = append(keys, k)
+		if k == "it-000" && string(it.Value()) == "mutated" {
+			t.Fatal("snapshot isolation violated")
+		}
+	}
+	if len(keys) != 99 { // 100 - 1 deleted
+		t.Fatalf("iterated %d keys", len(keys))
+	}
+	for _, k := range keys {
+		if k == "it-050" || k == "it-200" {
+			t.Fatalf("unexpected key %s", k)
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), nil)
+	defer db.Close()
+	for i := 0; i < 100; i += 2 {
+		db.Put([]byte(fmt.Sprintf("s%03d", i)), []byte("v"))
+	}
+	db.Flush()
+	it, _ := db.NewIterator()
+	defer it.Close()
+	it.Seek([]byte("s051"))
+	if !it.Valid() || string(it.Key()) != "s052" {
+		t.Fatalf("seek landed on %q", it.Key())
+	}
+	it.Seek([]byte("s098"))
+	if !it.Valid() || string(it.Key()) != "s098" {
+		t.Fatalf("exact seek landed on %q", it.Key())
+	}
+	it.Seek([]byte("zzz"))
+	if it.Valid() {
+		t.Fatal("seek past end")
+	}
+}
+
+func TestBatchAtomicVisibility(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), nil)
+	defer db.Close()
+	b := NewBatch()
+	for i := 0; i < 10; i++ {
+		b.Put([]byte(fmt.Sprintf("b%d", i)), []byte("v"))
+	}
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatalf("b%d: %v", i, err)
+		}
+	}
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs, func(o *Options) {
+		o.WriteBufferSize = 16 << 10
+		o.L0CompactionTrigger = 2
+		o.BaseLevelSize = 64 << 10
+	})
+	defer db.Close()
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(11))
+	val := func(i int) string { return strings.Repeat(fmt.Sprintf("v%d-", i), 20) }
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("c%04d", rng.Intn(500))
+		if rng.Intn(6) == 0 {
+			db.Delete([]byte(k))
+			delete(model, k)
+		} else {
+			db.Put([]byte(k), []byte(val(i)))
+			model[k] = val(i)
+		}
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Compactions == 0 {
+		t.Fatal("expected at least one compaction")
+	}
+	files := db.NumTableFiles()
+	if files[0] > 1 {
+		t.Fatalf("CompactAll left %d L0 files", files[0])
+	}
+	for k, want := range model {
+		v, err := db.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("key %s after compaction: err=%v", k, err)
+		}
+	}
+	it, _ := db.NewIterator()
+	defer it.Close()
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if _, ok := model[string(it.Key())]; !ok {
+			t.Fatalf("iterator yielded unexpected key %q", it.Key())
+		}
+		count++
+	}
+	if count != len(model) {
+		t.Fatalf("iterator count %d != model %d", count, len(model))
+	}
+}
+
+func TestCompactionDropsObsoleteFiles(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs, func(o *Options) {
+		o.WriteBufferSize = 8 << 10
+		o.L0CompactionTrigger = 2
+	})
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("g%04d", i)), bytes.Repeat([]byte("z"), 100))
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	names, _ := fs.List("db")
+	ssts := 0
+	for _, n := range names {
+		if strings.HasSuffix(n, ".sst") {
+			ssts++
+		}
+	}
+	live := 0
+	for _, c := range db.vs.liveFileNums() {
+		if c {
+			live++
+		}
+	}
+	if ssts != live {
+		t.Fatalf("%d .sst files on disk but %d live", ssts, live)
+	}
+}
+
+func TestDisableCompactionLeavesL0Alone(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), func(o *Options) {
+		o.WriteBufferSize = 8 << 10
+		o.DisableCompaction = true
+		o.L0CompactionTrigger = 2
+	})
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("n%04d", i)), bytes.Repeat([]byte("z"), 100))
+	}
+	db.Flush()
+	files := db.NumTableFiles()
+	if files[0] < 4 {
+		t.Fatalf("expected many L0 files with compaction off, got %d", files[0])
+	}
+	if db.Stats().Compactions != 0 {
+		t.Fatal("compaction ran despite being disabled")
+	}
+}
+
+func TestCheckpointOptionsEndToEnd(t *testing.T) {
+	// The paper's configuration: WAL/compression/cache/compaction off,
+	// async flush, 32 MB buffer (scaled down here).
+	fs := vfs.NewMemFS()
+	opts := CheckpointOptions(fs)
+	opts.WriteBufferSize = 64 << 10
+	db, err := Open("ckpt", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("c"), 4096)
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("ck-%04d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil { // the write barrier
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v, err := db.Get([]byte(fmt.Sprintf("ck-%04d", i))); err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("ck-%04d: %v", i, err)
+		}
+	}
+	if s := db.Stats(); s.WALBytes != 0 {
+		t.Fatalf("WAL was written despite DisableWAL: %d bytes", s.WALBytes)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: all barrier-flushed data must be durable.
+	db2, err := Open("ckpt", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := db2.Get([]byte(fmt.Sprintf("ck-%04d", i))); err != nil {
+			t.Fatalf("reopen ck-%04d: %v", i, err)
+		}
+	}
+}
+
+func TestClosedDBRejectsOps(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), nil)
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put: %v", err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("get: %v", err)
+	}
+	if err := db.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush: %v", err)
+	}
+	if _, err := db.NewIterator(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("iter: %v", err)
+	}
+	if err := db.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestHas(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), nil)
+	defer db.Close()
+	db.Put([]byte("present"), []byte("v"))
+	if ok, err := db.Has([]byte("present")); err != nil || !ok {
+		t.Fatalf("present: %v %v", ok, err)
+	}
+	if ok, err := db.Has([]byte("absent")); err != nil || ok {
+		t.Fatalf("absent: %v %v", ok, err)
+	}
+}
+
+func TestEmptyValueAndLargeValue(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), nil)
+	defer db.Close()
+	if err := db.Put([]byte("empty"), nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("empty"))
+	if err != nil || len(v) != 0 {
+		t.Fatalf("empty value: %q %v", v, err)
+	}
+	large := bytes.Repeat([]byte("L"), 5<<20)
+	if err := db.Put([]byte("large"), large); err != nil {
+		t.Fatal(err)
+	}
+	db.Flush()
+	v, err = db.Get([]byte("large"))
+	if err != nil || !bytes.Equal(v, large) {
+		t.Fatalf("large value: len=%d %v", len(v), err)
+	}
+}
+
+// TestRandomOpsMatchModel is the main property test: a long random
+// schedule of puts, deletes, flushes, compactions and reopens must always
+// agree with an in-memory map.
+func TestRandomOpsMatchModel(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := DefaultOptions(fs)
+	opts.WriteBufferSize = 8 << 10
+	opts.L0CompactionTrigger = 3
+	opts.BaseLevelSize = 32 << 10
+	db, err := Open("rnd", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(1234))
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(100); {
+		case op < 55: // put
+			k := fmt.Sprintf("p%03d", rng.Intn(400))
+			v := fmt.Sprintf("val-%d-%s", step, strings.Repeat("x", rng.Intn(100)))
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case op < 75: // delete
+			k := fmt.Sprintf("p%03d", rng.Intn(400))
+			if err := db.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		case op < 85: // get
+			k := fmt.Sprintf("p%03d", rng.Intn(400))
+			v, err := db.Get([]byte(k))
+			want, ok := model[k]
+			if ok && (err != nil || string(v) != want) {
+				t.Fatalf("step %d: get %s = %q, %v; want %q", step, k, v, err, want)
+			}
+			if !ok && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("step %d: get %s = %q, %v; want NotFound", step, k, v, err)
+			}
+		case op < 92: // flush
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		case op < 95: // full compaction
+			if err := db.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+		default: // reopen
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if db, err = Open("rnd", opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Final sweep: every model key, plus iterator agreement.
+	for k, want := range model {
+		v, err := db.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("final get %s: %q %v, want %q", k, v, err, want)
+		}
+	}
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if want, ok := model[string(it.Key())]; !ok || want != string(it.Value()) {
+			t.Fatalf("iterator key %q disagrees with model", it.Key())
+		}
+		seen++
+	}
+	it.Close()
+	if seen != len(model) {
+		t.Fatalf("iterator saw %d keys, model has %d", seen, len(model))
+	}
+	db.Close()
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), func(o *Options) {
+		o.WriteBufferSize = 32 << 10
+		o.AsyncFlush = true
+	})
+	defer db.Close()
+	const writers, perWriter = 8, 200
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < perWriter; i++ {
+				k := []byte(fmt.Sprintf("w%d-%04d", w, i))
+				if err := db.Put(k, bytes.Repeat([]byte("v"), 100)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if _, err := db.Get([]byte(fmt.Sprintf("w%d-%04d", w, i))); err != nil {
+				t.Fatalf("w%d-%04d: %v", w, i, err)
+			}
+		}
+	}
+}
+
+func TestRangeIterator(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), func(o *Options) { o.WriteBufferSize = 8 << 10 })
+	defer db.Close()
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("rng%04d", i)), bytes.Repeat([]byte("v"), 64))
+	}
+	db.Flush()
+	it, err := db.NewRangeIterator([]byte("rng0100"), []byte("rng0200"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		k := string(it.Key())
+		if k < "rng0100" || k >= "rng0200" {
+			t.Fatalf("out-of-bounds key %q", k)
+		}
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("range saw %d keys, want 100", count)
+	}
+	// Seek below the lower bound clamps.
+	it.Seek([]byte("rng0000"))
+	if !it.Valid() || string(it.Key()) != "rng0100" {
+		t.Fatalf("clamped seek landed on %q", it.Key())
+	}
+	// Seek beyond the upper bound is invalid.
+	it.Seek([]byte("rng0205"))
+	if it.Valid() {
+		t.Fatalf("seek past upper bound returned %q", it.Key())
+	}
+}
+
+func TestRangeIteratorSkipsNonOverlappingTables(t *testing.T) {
+	// Keys in two disjoint clusters flushed to separate tables: a scan of
+	// one cluster must not open the other's table (observable through the
+	// block cache miss count staying flat for it).
+	db := openTestDB(t, vfs.NewMemFS(), func(o *Options) {
+		o.DisableCompaction = true
+	})
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("aaa%03d", i)), []byte("v"))
+	}
+	db.Flush()
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("zzz%03d", i)), []byte("v"))
+	}
+	db.Flush()
+	it, err := db.NewRangeIterator([]byte("aaa"), []byte("aab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("saw %d keys", n)
+	}
+}
+
+func TestSizeTriggeredDeepCompaction(t *testing.T) {
+	// Small level targets force data past L1 into L2, exercising the
+	// round-robin compaction pointer and deep-level routing.
+	db := openTestDB(t, vfs.NewMemFS(), func(o *Options) {
+		o.WriteBufferSize = 8 << 10
+		o.L0CompactionTrigger = 2
+		o.BaseLevelSize = 16 << 10
+		o.LevelSizeMultiplier = 2
+		o.DisableCompression = true
+	})
+	defer db.Close()
+	payload := bytes.Repeat([]byte("deep"), 100)
+	for i := 0; i < 1500; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("dc%05d", i%600)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for background compaction to settle.
+	db.plat.Lock()
+	for db.compacting {
+		db.plat.WaitCond()
+	}
+	db.plat.Unlock()
+	files := db.NumTableFiles()
+	deep := 0
+	for l := 2; l < len(files); l++ {
+		deep += files[l]
+	}
+	if deep == 0 {
+		t.Fatalf("no tables below L1: %v", files)
+	}
+	// All data remains readable.
+	for i := 0; i < 600; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("dc%05d", i))); err != nil {
+			t.Fatalf("dc%05d: %v", i, err)
+		}
+	}
+	if err := db.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMapStyleTableWrites(t *testing.T) {
+	// UseMMap coalesces table writes into ~1MB segments; data must be
+	// identical either way.
+	for _, mm := range []bool{false, true} {
+		fs := vfs.NewMemFS()
+		db := openTestDB(t, fs, func(o *Options) {
+			o.UseMMap = mm
+			o.WriteBufferSize = 64 << 10
+		})
+		for i := 0; i < 500; i++ {
+			db.Put([]byte(fmt.Sprintf("mm%04d", i)), bytes.Repeat([]byte("m"), 200))
+		}
+		db.Flush()
+		for i := 0; i < 500; i += 41 {
+			if _, err := db.Get([]byte(fmt.Sprintf("mm%04d", i))); err != nil {
+				t.Fatalf("mmap=%v mm%04d: %v", mm, i, err)
+			}
+		}
+		db.Close()
+	}
+}

@@ -1,0 +1,177 @@
+package lsm
+
+// The memtable is a skiplist keyed by internal keys, the C0 tree of the
+// LSM paper (O'Neil et al., 1996). Inserts are O(log n); iteration is in
+// sorted order. The skiplist's level generator is seeded deterministically
+// so that simulations are reproducible.
+
+const (
+	maxSkipHeight = 12
+	skipBranching = 4
+)
+
+type skipNode struct {
+	ikey  internalKey
+	value []byte
+	next  []*skipNode
+}
+
+type memtable struct {
+	head   *skipNode
+	height int
+	rnd    uint64 // xorshift state
+	size   int64  // approximate memory usage in bytes
+	count  int
+}
+
+func newMemtable() *memtable {
+	return &memtable{
+		head:   &skipNode{next: make([]*skipNode, maxSkipHeight)},
+		height: 1,
+		rnd:    0x9E3779B97F4A7C15, // fixed seed: deterministic shape
+	}
+}
+
+func (m *memtable) randomHeight() int {
+	h := 1
+	for h < maxSkipHeight {
+		m.rnd ^= m.rnd << 13
+		m.rnd ^= m.rnd >> 7
+		m.rnd ^= m.rnd << 17
+		if m.rnd%skipBranching != 0 {
+			break
+		}
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with ikey >= key, filling prev
+// (when non-nil) with the rightmost node before key at every level.
+func (m *memtable) findGreaterOrEqual(key internalKey, prev []*skipNode) *skipNode {
+	x := m.head
+	level := m.height - 1
+	for {
+		next := x.next[level]
+		if next != nil && compareIKeys(next.ikey, key) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// findLessThan returns the last node with ikey < key, or nil if none.
+func (m *memtable) findLessThan(key internalKey) *skipNode {
+	x := m.head
+	level := m.height - 1
+	for {
+		next := x.next[level]
+		if next != nil && compareIKeys(next.ikey, key) < 0 {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == m.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// findLast returns the last node, or nil when empty.
+func (m *memtable) findLast() *skipNode {
+	x := m.head
+	level := m.height - 1
+	for {
+		next := x.next[level]
+		if next != nil {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == m.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// add inserts an entry. Keys are unique per (userKey, seq, kind) because
+// the sequence number increases on every write.
+func (m *memtable) add(seq seqNum, kind keyKind, userKey, value []byte) {
+	ik := makeIKey(userKey, seq, kind)
+	var prev [maxSkipHeight]*skipNode
+	m.findGreaterOrEqual(ik, prev[:])
+	h := m.randomHeight()
+	if h > m.height {
+		for i := m.height; i < h; i++ {
+			prev[i] = m.head
+		}
+		m.height = h
+	}
+	n := &skipNode{ikey: ik, value: value, next: make([]*skipNode, h)}
+	for i := 0; i < h; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	m.size += int64(len(ik) + len(value) + 48) // entry + node overhead
+	m.count++
+}
+
+// get looks up userKey at snapshot seq. It returns (value, true, nil-err)
+// for a live entry, (nil, true, ...) deleted=true semantics folded:
+// found reports whether any entry for the key exists at or below seq;
+// deleted reports whether the newest such entry is a tombstone.
+func (m *memtable) get(userKey []byte, seq seqNum) (value []byte, found, deleted bool) {
+	n := m.findGreaterOrEqual(lookupKey(userKey, seq), nil)
+	if n == nil || string(n.ikey.userKey()) != string(userKey) {
+		return nil, false, false
+	}
+	if n.ikey.kind() == kindDelete {
+		return nil, true, true
+	}
+	return n.value, true, false
+}
+
+// approximateSize returns the memtable's memory footprint in bytes.
+func (m *memtable) approximateSize() int64 { return m.size }
+
+// empty reports whether the memtable holds no entries.
+func (m *memtable) empty() bool { return m.count == 0 }
+
+// iterator returns a sorted iterator over all internal entries.
+func (m *memtable) iterator() *memIterator {
+	return &memIterator{m: m}
+}
+
+// memIterator walks the skiplist in internal-key order. It satisfies the
+// internal iterator contract used by the merging iterator.
+type memIterator struct {
+	m *memtable
+	n *skipNode
+}
+
+func (it *memIterator) SeekToFirst()        { it.n = it.m.head.next[0] }
+func (it *memIterator) SeekToLast()         { it.n = it.m.findLast() }
+func (it *memIterator) Seek(ik internalKey) { it.n = it.m.findGreaterOrEqual(ik, nil) }
+func (it *memIterator) Next()               { it.n = it.n.next[0] }
+func (it *memIterator) Prev() {
+	if it.n != nil {
+		it.n = it.m.findLessThan(it.n.ikey)
+	}
+}
+func (it *memIterator) Valid() bool       { return it.n != nil }
+func (it *memIterator) IKey() internalKey { return it.n.ikey }
+func (it *memIterator) Value() []byte     { return it.n.value }
+func (it *memIterator) Close() error      { return nil }

@@ -1,0 +1,166 @@
+// Package lsm is a log-structured merge-tree storage engine written from
+// scratch, playing the role RocksDB plays in the LSMIO paper (Bulut &
+// Wright, SC-W 2023). It implements the full write and read life cycle the
+// paper relies on: a skiplist memtable, an optional write-ahead log,
+// block-based sorted-string tables with prefix compression, restart points
+// and bloom filters, a versioned manifest, leveled compaction, write
+// batches, merging iterators and an optional block cache.
+//
+// Every knob the paper turns on RocksDB is an Option here: the write-ahead
+// log, compression, the block cache and compaction can each be disabled;
+// writes can be synchronous or asynchronous; and the write buffer and block
+// sizes are configurable (§3.1.1 of the paper).
+//
+// All I/O goes through vfs.FS, so the engine runs identically on the real
+// OS filesystem and on the simulated Lustre parallel file system.
+package lsm
+
+import (
+	"lsmio/internal/vfs"
+)
+
+// CompressionCodec names a block-compression algorithm.
+type CompressionCodec string
+
+// Available codecs.
+const (
+	// CompressionSnappy is the LZ77-family codec RocksDB defaults to
+	// (implemented from scratch in internal/snappy).
+	CompressionSnappy CompressionCodec = "snappy"
+	// CompressionFlate is DEFLATE at the fastest level.
+	CompressionFlate CompressionCodec = "flate"
+)
+
+// Options configures a DB. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	// FS is the filesystem the database lives on.
+	FS vfs.FS
+	// Platform supplies background-task scheduling and locking; defaults
+	// to the real-goroutine platform.
+	Platform Platform
+
+	// WriteBufferSize is the memtable capacity in bytes. When a memtable
+	// reaches this size it becomes immutable and is flushed to an SSTable.
+	// The paper uses 32 MB to mirror ADIOS2's BufferChunkSize.
+	WriteBufferSize int
+	// BlockSize is the uncompressed size of an SSTable data block.
+	BlockSize int
+	// BlockRestartInterval is the number of keys between restart points.
+	BlockRestartInterval int
+	// BitsPerKey sizes the per-table bloom filter; 0 disables filters.
+	BitsPerKey int
+
+	// DisableWAL turns off the write-ahead log (the paper's headline
+	// RocksDB customization for checkpoint data: durability comes from the
+	// explicit write barrier instead).
+	DisableWAL bool
+	// DisableCompression stores blocks raw (the paper disables compression).
+	DisableCompression bool
+	// Compression selects the block codec when compression is enabled:
+	// CompressionSnappy (default, RocksDB's default codec) or
+	// CompressionFlate (better ratio, slower).
+	Compression CompressionCodec
+	// DisableCache bypasses the block cache (the paper disables caching).
+	DisableCache bool
+	// DisableCompaction turns off background compaction (the paper
+	// disables compaction: checkpoints are write-once).
+	DisableCompaction bool
+	// Sync forces an fsync after every WAL write (when the WAL is on) and
+	// after every table flush. With Sync off, durability is deferred to
+	// WriteBarrier/Flush, matching the paper's asynchronous option.
+	Sync bool
+	// AsyncFlush lets a full memtable be flushed by a background task
+	// while new writes proceed into a fresh memtable. With it off, the
+	// write that fills the memtable performs the flush inline.
+	AsyncFlush bool
+	// UseMMap models RocksDB's mmap-write option: table writes bypass the
+	// engine's internal buffering. Behaviourally it only changes write
+	// granularity; it exists because the paper exposes it.
+	UseMMap bool
+
+	// CacheSize is the block cache capacity in bytes (used when the cache
+	// is enabled).
+	CacheSize int
+
+	// MaxImmutableMemtables bounds the flush backlog in async mode;
+	// writers stall when it is reached (RocksDB's write stall).
+	MaxImmutableMemtables int
+
+	// L0CompactionTrigger is the number of L0 tables that triggers a
+	// compaction into L1 (when compaction is enabled).
+	L0CompactionTrigger int
+	// LevelSizeMultiplier is the target size ratio between adjacent levels.
+	LevelSizeMultiplier int
+	// BaseLevelSize is the target size of L1 in bytes.
+	BaseLevelSize int64
+}
+
+// DefaultOptions returns options resembling LevelDB/RocksDB defaults, on
+// the given filesystem.
+func DefaultOptions(fs vfs.FS) Options {
+	return Options{
+		FS:                    fs,
+		Platform:              GoPlatform(),
+		WriteBufferSize:       4 << 20,
+		BlockSize:             4 << 10,
+		BlockRestartInterval:  16,
+		BitsPerKey:            10,
+		Compression:           CompressionSnappy,
+		CacheSize:             8 << 20,
+		MaxImmutableMemtables: 2,
+		L0CompactionTrigger:   4,
+		LevelSizeMultiplier:   10,
+		BaseLevelSize:         10 << 20,
+	}
+}
+
+// CheckpointOptions returns the configuration the LSMIO paper uses for the
+// checkpoint write path (§3.1.1): WAL, compression, cache and compaction
+// all disabled, a 32 MB write buffer, and asynchronous flushing.
+func CheckpointOptions(fs vfs.FS) Options {
+	o := DefaultOptions(fs)
+	o.DisableWAL = true
+	o.DisableCompression = true
+	o.DisableCache = true
+	o.DisableCompaction = true
+	o.AsyncFlush = true
+	o.WriteBufferSize = 32 << 20
+	o.BlockSize = 64 << 10
+	return o
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Platform == nil {
+		out.Platform = GoPlatform()
+	}
+	if out.WriteBufferSize <= 0 {
+		out.WriteBufferSize = 4 << 20
+	}
+	if out.BlockSize <= 0 {
+		out.BlockSize = 4 << 10
+	}
+	if out.BlockRestartInterval <= 0 {
+		out.BlockRestartInterval = 16
+	}
+	if out.CacheSize <= 0 {
+		out.CacheSize = 8 << 20
+	}
+	if out.MaxImmutableMemtables <= 0 {
+		out.MaxImmutableMemtables = 2
+	}
+	if out.Compression == "" {
+		out.Compression = CompressionSnappy
+	}
+	if out.L0CompactionTrigger <= 0 {
+		out.L0CompactionTrigger = 4
+	}
+	if out.LevelSizeMultiplier <= 0 {
+		out.LevelSizeMultiplier = 10
+	}
+	if out.BaseLevelSize <= 0 {
+		out.BaseLevelSize = 10 << 20
+	}
+	return out
+}

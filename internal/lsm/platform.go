@@ -1,0 +1,114 @@
+package lsm
+
+import (
+	"sync"
+	"time"
+
+	"lsmio/internal/sim"
+)
+
+// Platform abstracts the concurrency substrate so the same engine code runs
+// on real goroutines (production) and on cooperative simulation processes
+// (the benchmark cluster). It provides a database-wide lock, one condition
+// variable, and a way to start background work (flushes, compactions).
+//
+// The locking protocol is LevelDB's: the engine holds the lock while
+// mutating in-memory state and always releases it around file I/O.
+type Platform interface {
+	// Go starts fn as a background task.
+	Go(name string, fn func())
+	// Lock and Unlock guard the engine's shared state.
+	Lock()
+	Unlock()
+	// WaitCond atomically releases the lock, blocks until Signal, and
+	// reacquires the lock (sync.Cond.Wait semantics).
+	WaitCond()
+	// Signal wakes all WaitCond callers. May be called with or without
+	// the lock held.
+	Signal()
+	// Compute charges d of CPU time to the caller. On the real platform
+	// this is a no-op (real CPU time is really spent); on the simulated
+	// platform it advances the calling process's virtual clock.
+	Compute(d time.Duration)
+}
+
+// goPlatform is the production Platform: goroutines and sync primitives.
+type goPlatform struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+// GoPlatform returns a Platform backed by real goroutines. Each call
+// returns an independent instance (one per DB).
+func GoPlatform() Platform {
+	p := &goPlatform{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *goPlatform) Go(name string, fn func()) { go fn() }
+func (p *goPlatform) Lock()                     { p.mu.Lock() }
+func (p *goPlatform) Unlock()                   { p.mu.Unlock() }
+func (p *goPlatform) WaitCond()                 { p.cond.Wait() }
+func (p *goPlatform) Signal()                   { p.cond.Broadcast() }
+func (p *goPlatform) Compute(time.Duration)     {}
+
+// simPlatform runs the engine inside a discrete-event simulation: background
+// tasks are simulation processes, the lock is a cooperative mutex, and
+// Compute advances virtual time.
+type simPlatform struct {
+	k      *sim.Kernel
+	locked bool
+	lockW  *sim.Signal // waiters for the lock
+	cond   *sim.Signal // the engine condition variable
+}
+
+// SimPlatform returns a Platform running on kernel k. All engine calls must
+// come from simulation processes of k.
+func SimPlatform(k *sim.Kernel) Platform {
+	return &simPlatform{k: k, lockW: sim.NewSignal(k), cond: sim.NewSignal(k)}
+}
+
+func (p *simPlatform) cur() *sim.Proc {
+	c := p.k.Current()
+	if c == nil {
+		panic("lsm: sim platform used outside a simulation process")
+	}
+	return c
+}
+
+func (p *simPlatform) Go(name string, fn func()) {
+	p.k.Spawn(name, func(*sim.Proc) { fn() })
+}
+
+func (p *simPlatform) Lock() {
+	c := p.cur()
+	for p.locked {
+		p.lockW.Wait(c)
+	}
+	p.locked = true
+}
+
+func (p *simPlatform) Unlock() {
+	if !p.locked {
+		panic("lsm: unlock of unlocked sim platform")
+	}
+	p.locked = false
+	p.lockW.Broadcast()
+}
+
+func (p *simPlatform) WaitCond() {
+	c := p.cur()
+	p.Unlock()
+	p.cond.Wait(c)
+	p.Lock()
+}
+
+func (p *simPlatform) Signal() { p.cond.Broadcast() }
+
+func (p *simPlatform) Compute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.cur().Sleep(d)
+}

@@ -1,0 +1,168 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lsmio/internal/vfs"
+)
+
+func TestRepairRebuildsLostManifest(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs, func(o *Options) { o.WriteBufferSize = 16 << 10 })
+	model := map[string]string{}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("r%04d", i%120) // overwrites across tables
+		v := fmt.Sprintf("val-%d", i)
+		db.Put([]byte(k), []byte(v))
+		model[k] = v
+	}
+	db.Delete([]byte("r0007"))
+	delete(model, "r0007")
+	db.Flush()
+	db.Close()
+
+	// Catastrophe: metadata gone.
+	fs.Remove("db/CURRENT")
+	for _, n := range mustList(t, fs, "db") {
+		if strings.HasPrefix(n, "MANIFEST-") {
+			fs.Remove("db/" + n)
+		}
+	}
+	if _, err := Open("db", DefaultOptions(fs)); err == nil {
+		t.Fatal("open without metadata should fail before repair")
+	}
+
+	sum, err := Repair("db", DefaultOptions(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TablesRecovered == 0 || sum.EntriesRecovered == 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+
+	db2 := openTestDB(t, fs, nil)
+	defer db2.Close()
+	for k, want := range model {
+		v, err := db2.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("after repair %s = %q, %v; want %q", k, v, err, want)
+		}
+	}
+	if _, err := db2.Get([]byte("r0007")); err != ErrNotFound {
+		t.Fatalf("deleted key resurrected: %v", err)
+	}
+	if err := db2.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairSalvagesWAL(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs, nil) // WAL on by default
+	for i := 0; i < 40; i++ {
+		db.Put([]byte(fmt.Sprintf("w%02d", i)), []byte("wal-data"))
+	}
+	// Crash without flush or close: data lives only in the WAL. Then the
+	// metadata is lost too.
+	fs.Remove("db/CURRENT")
+	for _, n := range mustList(t, fs, "db") {
+		if strings.HasPrefix(n, "MANIFEST-") {
+			fs.Remove("db/" + n)
+		}
+	}
+	sum, err := Repair("db", DefaultOptions(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.LogRecordsRecovered != 40 {
+		t.Fatalf("recovered %d log records", sum.LogRecordsRecovered)
+	}
+	db2 := openTestDB(t, fs, nil)
+	defer db2.Close()
+	for i := 0; i < 40; i++ {
+		if v, err := db2.Get([]byte(fmt.Sprintf("w%02d", i))); err != nil || string(v) != "wal-data" {
+			t.Fatalf("w%02d after repair: %q %v", i, v, err)
+		}
+	}
+}
+
+func TestRepairSkipsCorruptTable(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs, func(o *Options) {
+		o.WriteBufferSize = 8 << 10
+		o.DisableCompression = true
+		o.DisableCompaction = true // keep several independent L0 tables
+	})
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("c%04d", i)), bytes.Repeat([]byte("x"), 200))
+	}
+	db.Flush()
+	db.Close()
+
+	// Destroy one table's contents entirely.
+	var victim string
+	for _, n := range mustList(t, fs, "db") {
+		if strings.HasSuffix(n, ".sst") {
+			victim = n
+			break
+		}
+	}
+	f, _ := fs.Create("db/" + victim) // truncate to nothing
+	f.Write([]byte("not a table"))
+	f.Close()
+	fs.Remove("db/CURRENT")
+
+	sum, err := Repair("db", DefaultOptions(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TablesSkipped != 1 || len(sum.Problems) != 1 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	// The rest of the data is back.
+	db2 := openTestDB(t, fs, nil)
+	defer db2.Close()
+	it, _ := db2.NewIterator()
+	defer it.Close()
+	count := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		count++
+	}
+	if count == 0 || count >= 200 {
+		t.Fatalf("recovered %d keys; expected partial recovery", count)
+	}
+}
+
+func TestRepairShadowingOrder(t *testing.T) {
+	// Two tables hold different versions of one key: repair must keep the
+	// newer version (higher file number) on top.
+	fs := vfs.NewMemFS()
+	db := openTestDB(t, fs, func(o *Options) { o.DisableCompaction = true })
+	db.Put([]byte("dup"), []byte("old"))
+	db.Flush()
+	db.Put([]byte("dup"), []byte("new"))
+	db.Flush()
+	db.Close()
+	fs.Remove("db/CURRENT")
+
+	if _, err := Repair("db", DefaultOptions(fs)); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openTestDB(t, fs, nil)
+	defer db2.Close()
+	if v, err := db2.Get([]byte("dup")); err != nil || string(v) != "new" {
+		t.Fatalf("dup = %q, %v; repair broke shadowing", v, err)
+	}
+}
+
+func mustList(t *testing.T, fs vfs.FS, dir string) []string {
+	t.Helper()
+	names, err := fs.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}

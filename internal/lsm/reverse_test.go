@@ -1,0 +1,285 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"lsmio/internal/vfs"
+)
+
+func TestMemtableBackwardWalk(t *testing.T) {
+	m := newMemtable()
+	for i, k := range []string{"b", "d", "a", "c", "e"} {
+		m.add(seqNum(i+1), kindValue, []byte(k), []byte(k))
+	}
+	it := m.iterator()
+	var got []string
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		got = append(got, string(it.IKey().userKey()))
+	}
+	if fmt.Sprint(got) != "[e d c b a]" {
+		t.Fatalf("backward walk = %v", got)
+	}
+	// findLessThan at the very first entry yields nil.
+	it.SeekToFirst()
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("Prev from first entry should invalidate")
+	}
+}
+
+func TestBlockIteratorBackward(t *testing.T) {
+	b := newBlockBuilder(4)
+	const n = 57 // not a multiple of the restart interval
+	for i := 0; i < n; i++ {
+		b.add(makeIKey([]byte(fmt.Sprintf("k%04d", i)), 1, kindValue),
+			[]byte(fmt.Sprintf("v%d", i)))
+	}
+	blk, err := parseBlock(append([]byte(nil), b.finish()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := blk.iterator()
+	// Full backward walk.
+	i := n - 1
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		want := fmt.Sprintf("k%04d", i)
+		if string(it.IKey().userKey()) != want {
+			t.Fatalf("backward at %d: got %s", i, it.IKey().userKey())
+		}
+		if string(it.Value()) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("backward value at %d: %q", i, it.Value())
+		}
+		i--
+	}
+	if i != -1 {
+		t.Fatalf("walked %d entries backward", n-1-i)
+	}
+	// Ping-pong around a restart boundary.
+	it.Seek(makeIKey([]byte("k0004"), maxSeq, kindValue)) // restart-aligned
+	it.Prev()
+	if string(it.IKey().userKey()) != "k0003" {
+		t.Fatalf("prev across restart = %s", it.IKey().userKey())
+	}
+	it.Next()
+	if string(it.IKey().userKey()) != "k0004" {
+		t.Fatalf("next after prev = %s", it.IKey().userKey())
+	}
+}
+
+func TestTableIteratorBackward(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := DefaultOptions(fs)
+	opts.BlockSize = 256 // many small blocks
+	f, _ := fs.Create("t.sst")
+	w := newTableWriter(f, &opts, 1)
+	const n = 500
+	for i := 0; i < n; i++ {
+		w.add(makeIKey([]byte(fmt.Sprintf("k%05d", i)), 1, kindValue), []byte("v"))
+	}
+	if _, err := w.finish(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, _ := fs.Open("t.sst")
+	r, err := openTable(g, &opts, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := r.iterator()
+	i := n - 1
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		if string(it.IKey().userKey()) != fmt.Sprintf("k%05d", i) {
+			t.Fatalf("backward at %d: %s", i, it.IKey().userKey())
+		}
+		i--
+	}
+	if i != -1 {
+		t.Fatalf("walked %d entries", n-1-i)
+	}
+}
+
+func TestDBIteratorReverse(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), func(o *Options) { o.WriteBufferSize = 8 << 10 })
+	defer db.Close()
+	var keys []string
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("rev%04d", i)
+		keys = append(keys, k)
+		db.Put([]byte(k), []byte(strings.Repeat("v", 50)))
+		if i%37 == 0 {
+			db.Flush() // spread across several tables + memtable
+		}
+	}
+	db.Delete([]byte("rev0100"))
+
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	// Full reverse scan.
+	var got []string
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		got = append(got, string(it.Key()))
+	}
+	want := make([]string, 0, len(keys)-1)
+	for i := len(keys) - 1; i >= 0; i-- {
+		if keys[i] != "rev0100" {
+			want = append(want, keys[i])
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reverse scan %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reverse[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+
+	// Direction changes: forward a bit, then back.
+	it.Seek([]byte("rev0050"))
+	it.Next() // rev0051
+	it.Prev() // rev0050
+	if string(it.Key()) != "rev0050" {
+		t.Fatalf("ping-pong landed on %q", it.Key())
+	}
+	it.Prev() // rev0049
+	if string(it.Key()) != "rev0049" {
+		t.Fatalf("second prev landed on %q", it.Key())
+	}
+	it.Next()
+	if string(it.Key()) != "rev0050" {
+		t.Fatalf("next after prevs landed on %q", it.Key())
+	}
+	// Prev over the tombstone.
+	it.Seek([]byte("rev0101"))
+	it.Prev()
+	if string(it.Key()) != "rev0099" {
+		t.Fatalf("prev over tombstone landed on %q", it.Key())
+	}
+}
+
+func TestDBIteratorReverseOverwrites(t *testing.T) {
+	// Multiple versions across memtable and tables: reverse iteration
+	// must yield the newest visible version, exactly like forward.
+	db := openTestDB(t, vfs.NewMemFS(), nil)
+	defer db.Close()
+	db.Put([]byte("x"), []byte("v1"))
+	db.Flush()
+	db.Put([]byte("x"), []byte("v2"))
+	db.Flush()
+	db.Put([]byte("x"), []byte("v3")) // memtable
+	db.Put([]byte("w"), []byte("w1"))
+	db.Put([]byte("y"), []byte("y1"))
+
+	it, _ := db.NewIterator()
+	defer it.Close()
+	it.SeekToLast()
+	if string(it.Key()) != "y" {
+		t.Fatalf("last = %q", it.Key())
+	}
+	it.Prev()
+	if string(it.Key()) != "x" || string(it.Value()) != "v3" {
+		t.Fatalf("prev = %q/%q, want x/v3", it.Key(), it.Value())
+	}
+	it.Prev()
+	if string(it.Key()) != "w" {
+		t.Fatalf("prev = %q", it.Key())
+	}
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("prev past first should invalidate")
+	}
+}
+
+func TestRangeIteratorReverse(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), nil)
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("rr%03d", i)), []byte("v"))
+	}
+	db.Flush()
+	it, err := db.NewRangeIterator([]byte("rr020"), []byte("rr030"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for it.SeekToLast(); it.Valid(); it.Prev() {
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != 10 || got[0] != "rr029" || got[9] != "rr020" {
+		t.Fatalf("bounded reverse = %v", got)
+	}
+}
+
+// TestReverseMatchesForwardProperty: for random databases, the reverse
+// scan must be exactly the forward scan reversed, and random-position
+// ping-pong must be consistent.
+func TestReverseMatchesForwardProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 5; round++ {
+		db := openTestDB(t, vfs.NewMemFS(), func(o *Options) {
+			o.WriteBufferSize = 4 << 10
+		})
+		model := map[string]bool{}
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("p%03d", rng.Intn(150))
+			if rng.Intn(5) == 0 {
+				db.Delete([]byte(k))
+				delete(model, k)
+			} else {
+				db.Put([]byte(k), []byte("v"))
+				model[k] = true
+			}
+			if rng.Intn(60) == 0 {
+				db.Flush()
+			}
+		}
+		it, err := db.NewIterator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fwd, rev []string
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			fwd = append(fwd, string(it.Key()))
+		}
+		for it.SeekToLast(); it.Valid(); it.Prev() {
+			rev = append(rev, string(it.Key()))
+		}
+		if len(fwd) != len(model) || len(rev) != len(fwd) {
+			t.Fatalf("round %d: fwd %d rev %d model %d", round, len(fwd), len(rev), len(model))
+		}
+		for i := range fwd {
+			if fwd[i] != rev[len(rev)-1-i] {
+				t.Fatalf("round %d: fwd[%d]=%s rev-mirror=%s", round, i, fwd[i], rev[len(rev)-1-i])
+			}
+		}
+		// Ping-pong at random positions.
+		sorted := append([]string(nil), fwd...)
+		sort.Strings(sorted)
+		for j := 0; j < 30 && len(sorted) > 2; j++ {
+			pos := 1 + rng.Intn(len(sorted)-2)
+			it.Seek([]byte(sorted[pos]))
+			it.Prev()
+			if !it.Valid() || string(it.Key()) != sorted[pos-1] {
+				t.Fatalf("round %d: prev from %s = %q, want %s",
+					round, sorted[pos], it.Key(), sorted[pos-1])
+			}
+			it.Next()
+			if !it.Valid() || string(it.Key()) != sorted[pos] {
+				t.Fatalf("round %d: next back to %s = %q", round, sorted[pos], it.Key())
+			}
+		}
+		it.Close()
+		db.Close()
+	}
+	_ = bytes.Equal
+}

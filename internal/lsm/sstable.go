@@ -1,0 +1,474 @@
+package lsm
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"lsmio/internal/snappy"
+	"lsmio/internal/vfs"
+)
+
+// Sorted-string tables are the C1..Ck trees of the LSM paper: immutable,
+// sorted, block-structured files written once by a flush or compaction and
+// never edited in place.
+//
+// Layout:
+//
+//	data block*      each followed by a 5-byte trailer: type(1) crc32(4)
+//	filter block     bloom filter over user keys (same trailer)
+//	index block      lastIKey(block) -> handle (same trailer)
+//	footer (40 B)    filterOff filterLen indexOff indexLen magic
+const (
+	tableMagic      = 0x4c534d494f544221 // "LSMIOTB!"
+	footerLen       = 40
+	blockTrailerLen = 5
+
+	compressionNone   = 0
+	compressionFlate  = 1
+	compressionSnappy = 2
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// blockHandle locates a block within a table file.
+type blockHandle struct {
+	offset int64
+	length int64 // without trailer
+}
+
+func encodeHandle(h blockHandle) []byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(h.offset))
+	binary.LittleEndian.PutUint64(b[8:], uint64(h.length))
+	return b[:]
+}
+
+func decodeHandle(b []byte) (blockHandle, error) {
+	if len(b) < 16 {
+		return blockHandle{}, fmt.Errorf("lsm: handle too short")
+	}
+	return blockHandle{
+		offset: int64(binary.LittleEndian.Uint64(b[:8])),
+		length: int64(binary.LittleEndian.Uint64(b[8:])),
+	}, nil
+}
+
+// tableMeta describes a finished table.
+type tableMeta struct {
+	fileNum  uint64
+	size     int64
+	smallest internalKey
+	largest  internalKey
+	entries  int
+}
+
+// tableWriter builds a table by streaming sorted internal entries.
+type tableWriter struct {
+	f    vfs.File
+	opts *Options
+
+	buf       bytes.Buffer // pending bytes when coalescing writes
+	coalesce  int          // flush granularity for buf; 0 = write-through
+	offset    int64
+	dataBlock *blockBuilder
+	index     *blockBuilder
+	userKeys  [][]byte // for the bloom filter
+	meta      tableMeta
+	lastIKey  internalKey
+	err       error
+}
+
+// newTableWriter starts a table on f. With UseMMap the writer models
+// mmap-style I/O by coalescing block writes into large segments (one
+// write per ~1 MB region); otherwise each block is written as produced.
+func newTableWriter(f vfs.File, opts *Options, fileNum uint64) *tableWriter {
+	w := &tableWriter{
+		f:         f,
+		opts:      opts,
+		dataBlock: newBlockBuilder(opts.BlockRestartInterval),
+		index:     newBlockBuilder(1),
+	}
+	w.meta.fileNum = fileNum
+	if opts.UseMMap {
+		w.coalesce = 1 << 20
+	}
+	return w
+}
+
+func (w *tableWriter) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if w.coalesce == 0 {
+		_, w.err = w.f.Write(p)
+		return
+	}
+	w.buf.Write(p)
+	if w.buf.Len() >= w.coalesce {
+		_, w.err = w.f.Write(w.buf.Bytes())
+		w.buf.Reset()
+	}
+}
+
+func (w *tableWriter) drain() {
+	if w.err == nil && w.buf.Len() > 0 {
+		_, w.err = w.f.Write(w.buf.Bytes())
+		w.buf.Reset()
+	}
+}
+
+// add appends an entry; keys must arrive in increasing internal-key order.
+func (w *tableWriter) add(ik internalKey, value []byte) {
+	if w.err != nil {
+		return
+	}
+	if w.lastIKey.valid() && compareIKeys(ik, w.lastIKey) <= 0 {
+		w.err = fmt.Errorf("lsm: keys out of order: %s after %s", ik, w.lastIKey)
+		return
+	}
+	if !w.meta.smallest.valid() {
+		w.meta.smallest = append(internalKey(nil), ik...)
+	}
+	w.lastIKey = append(w.lastIKey[:0], ik...)
+	if w.opts.BitsPerKey > 0 {
+		w.userKeys = append(w.userKeys, append([]byte(nil), ik.userKey()...))
+	}
+	w.dataBlock.add(ik, value)
+	w.meta.entries++
+	if w.dataBlock.estimatedSize() >= w.opts.BlockSize {
+		w.finishDataBlock()
+	}
+}
+
+func (w *tableWriter) finishDataBlock() {
+	if w.dataBlock.empty() {
+		return
+	}
+	handle := w.writeBlock(w.dataBlock.finish(), !w.opts.DisableCompression)
+	w.dataBlock.reset()
+	w.index.add(append(internalKey(nil), w.lastIKey...), encodeHandle(handle))
+}
+
+// writeBlock emits raw (optionally compressed) + trailer and returns its
+// handle. A compressed form is kept only when it is >12.5% smaller.
+func (w *tableWriter) writeBlock(raw []byte, allowCompress bool) blockHandle {
+	blockType := byte(compressionNone)
+	out := raw
+	if allowCompress {
+		switch w.opts.Compression {
+		case CompressionFlate:
+			var cbuf bytes.Buffer
+			fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
+			if err == nil {
+				if _, err = fw.Write(raw); err == nil && fw.Close() == nil &&
+					cbuf.Len() < len(raw)-len(raw)/8 {
+					out = cbuf.Bytes()
+					blockType = compressionFlate
+				}
+			}
+		default: // CompressionSnappy (and unset)
+			enc := snappy.Encode(nil, raw)
+			if len(enc) < len(raw)-len(raw)/8 {
+				out = enc
+				blockType = compressionSnappy
+			}
+		}
+	}
+	h := blockHandle{offset: w.offset, length: int64(len(out))}
+	crc := crc32.Checksum(out, crcTable)
+	crc = crc32.Update(crc, crcTable, []byte{blockType})
+	var trailer [blockTrailerLen]byte
+	trailer[0] = blockType
+	binary.LittleEndian.PutUint32(trailer[1:], crc)
+	w.write(out)
+	w.write(trailer[:])
+	w.offset += int64(len(out)) + blockTrailerLen
+	return h
+}
+
+// finish completes the table and returns its metadata.
+func (w *tableWriter) finish() (tableMeta, error) {
+	w.finishDataBlock()
+	// Filter block (never compressed: it is random bits).
+	var filterHandle blockHandle
+	if w.opts.BitsPerKey > 0 && len(w.userKeys) > 0 {
+		filterHandle = w.writeBlock(buildBloom(w.userKeys, w.opts.BitsPerKey), false)
+	}
+	indexHandle := w.writeBlock(w.index.finish(), !w.opts.DisableCompression)
+	var footer [footerLen]byte
+	binary.LittleEndian.PutUint64(footer[0:], uint64(filterHandle.offset))
+	binary.LittleEndian.PutUint64(footer[8:], uint64(filterHandle.length))
+	binary.LittleEndian.PutUint64(footer[16:], uint64(indexHandle.offset))
+	binary.LittleEndian.PutUint64(footer[24:], uint64(indexHandle.length))
+	binary.LittleEndian.PutUint64(footer[32:], tableMagic)
+	w.write(footer[:])
+	w.offset += footerLen
+	w.drain()
+	if w.err != nil {
+		return tableMeta{}, w.err
+	}
+	if w.opts.Sync {
+		if err := w.f.Sync(); err != nil {
+			return tableMeta{}, err
+		}
+	}
+	w.meta.largest = append(internalKey(nil), w.lastIKey...)
+	w.meta.size = w.offset
+	return w.meta, nil
+}
+
+// tableReader serves point lookups and scans from one table file.
+type tableReader struct {
+	f       vfs.File
+	fileNum uint64
+	opts    *Options
+	cache   *blockCache // shared, may be nil
+	index   *block
+	filter  []byte
+	size    int64
+}
+
+// openTable reads the footer, index and filter of a table file.
+func openTable(f vfs.File, opts *Options, fileNum uint64, cache *blockCache) (*tableReader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < footerLen {
+		return nil, fmt.Errorf("lsm: table %d too small (%d bytes)", fileNum, size)
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil && err != io.EOF {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[32:]) != tableMagic {
+		return nil, fmt.Errorf("lsm: table %d: bad magic", fileNum)
+	}
+	t := &tableReader{f: f, fileNum: fileNum, opts: opts, cache: cache, size: size}
+	filterHandle := blockHandle{
+		offset: int64(binary.LittleEndian.Uint64(footer[0:])),
+		length: int64(binary.LittleEndian.Uint64(footer[8:])),
+	}
+	indexHandle := blockHandle{
+		offset: int64(binary.LittleEndian.Uint64(footer[16:])),
+		length: int64(binary.LittleEndian.Uint64(footer[24:])),
+	}
+	rawIndex, err := t.readRawBlock(indexHandle)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: table %d index: %w", fileNum, err)
+	}
+	if t.index, err = parseBlock(rawIndex); err != nil {
+		return nil, err
+	}
+	if filterHandle.length > 0 {
+		if t.filter, err = t.readRawBlock(filterHandle); err != nil {
+			return nil, fmt.Errorf("lsm: table %d filter: %w", fileNum, err)
+		}
+	}
+	return t, nil
+}
+
+// readRawBlock reads, verifies and decompresses one block (no cache).
+func (t *tableReader) readRawBlock(h blockHandle) ([]byte, error) {
+	buf := make([]byte, h.length+blockTrailerLen)
+	if _, err := t.f.ReadAt(buf, h.offset); err != nil && err != io.EOF {
+		return nil, err
+	}
+	data, trailer := buf[:h.length], buf[h.length:]
+	blockType := trailer[0]
+	wantCRC := binary.LittleEndian.Uint32(trailer[1:])
+	crc := crc32.Checksum(data, crcTable)
+	crc = crc32.Update(crc, crcTable, []byte{blockType})
+	if crc != wantCRC {
+		return nil, fmt.Errorf("lsm: block at %d: checksum mismatch", h.offset)
+	}
+	switch blockType {
+	case compressionNone:
+		return data, nil
+	case compressionFlate:
+		fr := flate.NewReader(bytes.NewReader(data))
+		out, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: block at %d: decompress: %w", h.offset, err)
+		}
+		return out, fr.Close()
+	case compressionSnappy:
+		out, err := snappy.Decode(nil, data)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: block at %d: decompress: %w", h.offset, err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("lsm: block at %d: unknown type %d", h.offset, blockType)
+	}
+}
+
+// readBlock returns a parsed block, using the shared cache when enabled.
+func (t *tableReader) readBlock(h blockHandle) (*block, error) {
+	if t.cache != nil {
+		if b, ok := t.cache.get(t.fileNum, h.offset); ok {
+			return b, nil
+		}
+	}
+	raw, err := t.readRawBlock(h)
+	if err != nil {
+		return nil, err
+	}
+	b, err := parseBlock(raw)
+	if err != nil {
+		return nil, err
+	}
+	if t.cache != nil {
+		t.cache.put(t.fileNum, h.offset, b, int64(len(raw)))
+	}
+	return b, nil
+}
+
+// get finds the newest entry for userKey at snapshot seq within this table.
+func (t *tableReader) get(userKey []byte, seq seqNum) (value []byte, found, deleted bool, err error) {
+	if t.filter != nil && !bloomMayContain(t.filter, userKey) {
+		return nil, false, false, nil
+	}
+	target := lookupKey(userKey, seq)
+	idxIter := t.index.iterator()
+	idxIter.Seek(target)
+	if !idxIter.Valid() {
+		return nil, false, false, idxIter.Close()
+	}
+	h, err := decodeHandle(idxIter.Value())
+	if err != nil {
+		return nil, false, false, err
+	}
+	b, err := t.readBlock(h)
+	if err != nil {
+		return nil, false, false, err
+	}
+	it := b.iterator()
+	it.Seek(target)
+	if !it.Valid() {
+		return nil, false, false, it.Close()
+	}
+	ik := it.IKey()
+	if !bytes.Equal(ik.userKey(), userKey) {
+		return nil, false, false, it.Close()
+	}
+	if ik.kind() == kindDelete {
+		return nil, true, true, it.Close()
+	}
+	return append([]byte(nil), it.Value()...), true, false, it.Close()
+}
+
+// iterator returns an ordered iterator over the whole table.
+func (t *tableReader) iterator() *tableIterator {
+	return &tableIterator{t: t, idx: t.index.iterator()}
+}
+
+// close releases the underlying file.
+func (t *tableReader) close() error { return t.f.Close() }
+
+// tableIterator is a two-level iterator: index block -> data blocks.
+type tableIterator struct {
+	t    *tableReader
+	idx  *blockIterator
+	data *blockIterator
+	err  error
+}
+
+func (it *tableIterator) loadData() {
+	it.data = nil
+	if !it.idx.Valid() {
+		return
+	}
+	h, err := decodeHandle(it.idx.Value())
+	if err != nil {
+		it.err = err
+		return
+	}
+	b, err := it.t.readBlock(h)
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.data = b.iterator()
+}
+
+func (it *tableIterator) SeekToFirst() {
+	it.idx.SeekToFirst()
+	it.loadData()
+	if it.data != nil {
+		it.data.SeekToFirst()
+	}
+	it.skipEmpty()
+}
+
+func (it *tableIterator) Seek(ik internalKey) {
+	it.idx.Seek(ik)
+	it.loadData()
+	if it.data != nil {
+		it.data.Seek(ik)
+	}
+	it.skipEmpty()
+}
+
+// skipEmpty advances to the next data block while the current one is
+// exhausted.
+func (it *tableIterator) skipEmpty() {
+	for it.err == nil && it.data != nil && !it.data.Valid() {
+		it.idx.Next()
+		it.loadData()
+		if it.data != nil {
+			it.data.SeekToFirst()
+		}
+	}
+}
+
+func (it *tableIterator) Next() {
+	if it.data == nil {
+		return
+	}
+	it.data.Next()
+	it.skipEmpty()
+}
+
+// SeekToLast positions at the table's final entry.
+func (it *tableIterator) SeekToLast() {
+	it.idx.SeekToLast()
+	it.loadData()
+	if it.data != nil {
+		it.data.SeekToLast()
+	}
+	it.skipEmptyBack()
+}
+
+// Prev positions at the preceding entry, crossing block boundaries.
+func (it *tableIterator) Prev() {
+	if it.data == nil {
+		return
+	}
+	it.data.Prev()
+	it.skipEmptyBack()
+}
+
+// skipEmptyBack walks to the previous data block while the current one is
+// exhausted backwards.
+func (it *tableIterator) skipEmptyBack() {
+	for it.err == nil && it.data != nil && !it.data.Valid() {
+		it.idx.Prev()
+		it.loadData()
+		if it.data != nil {
+			it.data.SeekToLast()
+		}
+	}
+}
+
+func (it *tableIterator) Valid() bool {
+	return it.err == nil && it.data != nil && it.data.Valid()
+}
+
+func (it *tableIterator) IKey() internalKey { return it.data.IKey() }
+func (it *tableIterator) Value() []byte     { return it.data.Value() }
+func (it *tableIterator) Close() error      { return it.err }

@@ -1,0 +1,191 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"lsmio/internal/vfs"
+)
+
+// Write-ahead log, LevelDB record framing: the file is a sequence of 32 KB
+// blocks; each record is split into fragments that never span a block
+// boundary.
+//
+//	fragment := crc32(4) length(2) type(1) payload
+//	type     := full | first | middle | last
+const (
+	walBlockSize  = 32 << 10
+	walHeaderSize = 7
+
+	recFull   = 1
+	recFirst  = 2
+	recMiddle = 3
+	recLast   = 4
+)
+
+// walWriter appends records to a log file.
+type walWriter struct {
+	f        vfs.File
+	blockOff int // offset within the current 32 KB block
+	buf      []byte
+}
+
+func newWALWriter(f vfs.File) *walWriter { return &walWriter{f: f} }
+
+// addRecord appends one record, fragmenting across block boundaries.
+func (w *walWriter) addRecord(data []byte) error {
+	first := true
+	for {
+		leftover := walBlockSize - w.blockOff
+		if leftover < walHeaderSize {
+			// Pad the tail of the block with zeros.
+			if leftover > 0 {
+				if _, err := w.f.Write(make([]byte, leftover)); err != nil {
+					return err
+				}
+			}
+			w.blockOff = 0
+			continue
+		}
+		avail := walBlockSize - w.blockOff - walHeaderSize
+		n := len(data)
+		if n > avail {
+			n = avail
+		}
+		var typ byte
+		switch {
+		case first && n == len(data):
+			typ = recFull
+		case first:
+			typ = recFirst
+		case n == len(data):
+			typ = recLast
+		default:
+			typ = recMiddle
+		}
+		if err := w.emit(typ, data[:n]); err != nil {
+			return err
+		}
+		data = data[n:]
+		first = false
+		if len(data) == 0 {
+			return nil
+		}
+	}
+}
+
+func (w *walWriter) emit(typ byte, payload []byte) error {
+	w.buf = w.buf[:0]
+	var hdr [walHeaderSize]byte
+	crc := crc32.Checksum([]byte{typ}, crcTable)
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(hdr[0:], crc)
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(payload)))
+	hdr[6] = typ
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	w.blockOff += len(w.buf)
+	if w.blockOff == walBlockSize {
+		w.blockOff = 0
+	}
+	return nil
+}
+
+// sync flushes the log to stable storage.
+func (w *walWriter) sync() error { return w.f.Sync() }
+
+// close closes the underlying file.
+func (w *walWriter) close() error { return w.f.Close() }
+
+// walReader replays a log file record by record.
+type walReader struct {
+	f        vfs.File
+	off      int64
+	size     int64
+	blockOff int
+	frag     []byte
+}
+
+func newWALReader(f vfs.File) (*walReader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	return &walReader{f: f, size: size}, nil
+}
+
+// next returns the next record, or io.EOF at the end of the log. A torn
+// tail (partial final record, as after a crash) also ends iteration.
+func (r *walReader) next() ([]byte, error) {
+	var record []byte
+	inFragmented := false
+	for {
+		leftover := walBlockSize - r.blockOff
+		if leftover < walHeaderSize {
+			r.off += int64(leftover)
+			r.blockOff = 0
+			continue
+		}
+		if r.off+walHeaderSize > r.size {
+			return nil, io.EOF
+		}
+		var hdr [walHeaderSize]byte
+		if _, err := r.f.ReadAt(hdr[:], r.off); err != nil && err != io.EOF {
+			return nil, err
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:])
+		length := int(binary.LittleEndian.Uint16(hdr[4:]))
+		typ := hdr[6]
+		if typ == 0 && length == 0 && wantCRC == 0 {
+			// Zero padding / preallocated space: end of log.
+			return nil, io.EOF
+		}
+		if r.off+walHeaderSize+int64(length) > r.size {
+			return nil, io.EOF // torn write at the tail
+		}
+		payload := make([]byte, length)
+		if _, err := r.f.ReadAt(payload, r.off+walHeaderSize); err != nil && err != io.EOF {
+			return nil, err
+		}
+		crc := crc32.Checksum([]byte{typ}, crcTable)
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != wantCRC {
+			return nil, io.EOF // corrupt tail: stop replay
+		}
+		r.off += int64(walHeaderSize + length)
+		r.blockOff += walHeaderSize + length
+		if r.blockOff >= walBlockSize {
+			r.blockOff = 0
+		}
+		switch typ {
+		case recFull:
+			if inFragmented {
+				return nil, fmt.Errorf("lsm: wal: full record inside fragmented record")
+			}
+			return payload, nil
+		case recFirst:
+			if inFragmented {
+				return nil, fmt.Errorf("lsm: wal: first record inside fragmented record")
+			}
+			inFragmented = true
+			record = append(record[:0], payload...)
+		case recMiddle:
+			if !inFragmented {
+				return nil, fmt.Errorf("lsm: wal: middle record outside fragmented record")
+			}
+			record = append(record, payload...)
+		case recLast:
+			if !inFragmented {
+				return nil, fmt.Errorf("lsm: wal: last record outside fragmented record")
+			}
+			return append(record, payload...), nil
+		default:
+			return nil, fmt.Errorf("lsm: wal: unknown record type %d", typ)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package mpisim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lsmio/internal/netsim"
+	"lsmio/internal/sim"
+)
+
+func newWorld(t *testing.T, n int) *World {
+	t.Helper()
+	k := sim.NewKernel()
+	f := netsim.New(k, netsim.DefaultConfig(n))
+	return NewWorld(k, f, n)
+}
+
+func TestSendRecv(t *testing.T) {
+	w := newWorld(t, 2)
+	var got string
+	err := w.Run(func(r *Rank) {
+		switch r.Rank() {
+		case 0:
+			r.Send(1, 7, "hello", 5)
+		case 1:
+			got = r.Recv(0, 7).(string)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMessagesFromSameSourceArriveInOrder(t *testing.T) {
+	w := newWorld(t, 2)
+	var got []int
+	err := w.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				r.Send(1, 3, i, 8)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				got = append(got, r.Recv(0, 3).(int))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0 1 2 3 4]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			w := newWorld(t, n)
+			after := make([]sim.Time, n)
+			err := w.Run(func(r *Rank) {
+				// Rank i computes for i ms, then everyone meets.
+				r.Sleep(time.Duration(r.Rank()) * time.Millisecond)
+				r.Barrier()
+				after[r.Rank()] = r.Now()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slowest := sim.Time(time.Duration(n-1) * time.Millisecond)
+			for i, at := range after {
+				if at < slowest {
+					t.Errorf("rank %d left barrier at %v, before slowest entered (%v)", i, at, slowest)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	const n = 6
+	for root := 0; root < n; root++ {
+		w := newWorld(t, n)
+		got := make([]int, n)
+		err := w.Run(func(r *Rank) {
+			var v any
+			if r.Rank() == root {
+				v = 42
+			}
+			got[r.Rank()] = r.Bcast(root, v, 4).(int)
+		})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		for i, v := range got {
+			if v != 42 {
+				t.Fatalf("root %d: rank %d got %d", root, i, v)
+			}
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 13} {
+		w := newWorld(t, n)
+		got := make([]float64, n)
+		err := w.Run(func(r *Rank) {
+			got[r.Rank()] = r.AllreduceF64(float64(r.Rank()+1), func(a, b float64) float64 { return a + b })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(n*(n+1)) / 2
+		for i, v := range got {
+			if v != want {
+				t.Fatalf("n=%d rank %d got %v want %v", n, i, v, want)
+			}
+		}
+	}
+}
+
+func TestReduceToNonZeroRoot(t *testing.T) {
+	const n, root = 5, 3
+	w := newWorld(t, n)
+	var atRoot int
+	err := w.Run(func(r *Rank) {
+		res := r.Reduce(root, r.Rank(), 4, func(a, b any) any { return a.(int) + b.(int) })
+		if r.Rank() == root {
+			atRoot = res.(int)
+		} else if res != nil {
+			t.Errorf("rank %d got non-nil reduce result", r.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0 + 1 + 2 + 3 + 4; atRoot != want {
+		t.Fatalf("root got %d, want %d", atRoot, want)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 4
+	w := newWorld(t, n)
+	var gathered []any
+	scattered := make([]int, n)
+	err := w.Run(func(r *Rank) {
+		g := r.Gather(0, r.Rank()*10, 4)
+		if r.Rank() == 0 {
+			gathered = g
+		}
+		var items []any
+		if r.Rank() == 0 {
+			items = []any{100, 101, 102, 103}
+		}
+		scattered[r.Rank()] = r.Scatter(0, items, 4).(int)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range gathered {
+		if v.(int) != i*10 {
+			t.Fatalf("gathered[%d] = %v", i, v)
+		}
+	}
+	for i, v := range scattered {
+		if v != 100+i {
+			t.Fatalf("scattered[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5, 9} {
+		w := newWorld(t, n)
+		results := make([][]any, n)
+		err := w.Run(func(r *Rank) {
+			items := make([]any, n)
+			for i := range items {
+				items[i] = r.Rank()*100 + i // destined for rank i
+			}
+			results[r.Rank()] = r.Alltoall(items, 64)
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for me := 0; me < n; me++ {
+			for src := 0; src < n; src++ {
+				if got := results[me][src].(int); got != src*100+me {
+					t.Fatalf("n=%d rank %d from %d: got %d want %d", n, me, src, got, src*100+me)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	const n = 4
+	w := newWorld(t, n)
+	got := make([]sim.Time, n)
+	err := w.Run(func(r *Rank) {
+		got[r.Rank()] = r.MaxTime(sim.Time(r.Rank() * 1000))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != sim.Time((n-1)*1000) {
+			t.Fatalf("rank %d MaxTime = %v", i, v)
+		}
+	}
+}
+
+func TestBarrierCostGrowsLogarithmically(t *testing.T) {
+	elapsed := func(n int) time.Duration {
+		w := newWorld(t, n)
+		var d time.Duration
+		if err := w.Run(func(r *Rank) {
+			r.Barrier()
+			if r.Rank() == 0 {
+				d = r.Now().Duration()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	t2, t32 := elapsed(2), elapsed(32)
+	if t32 < t2 {
+		t.Fatalf("barrier(32)=%v < barrier(2)=%v", t32, t2)
+	}
+	// log2(32)=5 tree levels each way; must stay well under a linear 31x.
+	if t32 > 12*t2 {
+		t.Fatalf("barrier(32)=%v too expensive vs barrier(2)=%v", t32, t2)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 3, 8} {
+		w := newWorld(t, n)
+		results := make([][]any, n)
+		err := w.Run(func(r *Rank) {
+			results[r.Rank()] = r.Allgather(r.Rank()*7, 8)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for me := 0; me < n; me++ {
+			if len(results[me]) != n {
+				t.Fatalf("rank %d gathered %d items", me, len(results[me]))
+			}
+			for src := 0; src < n; src++ {
+				if results[me][src].(int) != src*7 {
+					t.Fatalf("rank %d item %d = %v", me, src, results[me][src])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package netsim models the cluster interconnect for the simulated HPC
+// system: a flat fat-tree-like fabric where every node has a full-duplex
+// NIC with fixed bandwidth, and every message pays a base latency. Link
+// contention is modelled by treating each NIC direction as a serial
+// resource, so concurrent transfers to or from one node queue behind each
+// other while transfers between disjoint node pairs proceed in parallel.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"lsmio/internal/sim"
+)
+
+// Config describes the interconnect.
+type Config struct {
+	Nodes     int           // number of endpoints
+	Latency   time.Duration // one-way per-message latency
+	Bandwidth float64       // per-NIC bandwidth, bytes/second
+	// MaxPacket chunks large transfers so that a long message does not
+	// monopolize a NIC for its entire duration. Zero means no chunking.
+	MaxPacket int64
+}
+
+// DefaultConfig returns an interconnect resembling a 100 Gb/s class HPC
+// fabric (EDR/HDR InfiniBand era, matching the Viking cluster's vintage).
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:     nodes,
+		Latency:   20 * time.Microsecond,
+		Bandwidth: 10e9, // 10 GB/s
+		MaxPacket: 4 << 20,
+	}
+}
+
+// Fabric is the simulated interconnect.
+type Fabric struct {
+	k   *sim.Kernel
+	cfg Config
+	tx  []*sim.Resource // per-node transmit side
+	rx  []*sim.Resource // per-node receive side
+
+	bytesMoved int64
+	messages   int64
+}
+
+// New builds a fabric on kernel k.
+func New(k *sim.Kernel, cfg Config) *Fabric {
+	if cfg.Nodes <= 0 {
+		panic("netsim: need at least one node")
+	}
+	if cfg.Bandwidth <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	f := &Fabric{k: k, cfg: cfg}
+	f.tx = make([]*sim.Resource, cfg.Nodes)
+	f.rx = make([]*sim.Resource, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		f.tx[i] = sim.NewResource(k, fmt.Sprintf("tx%d", i), 1)
+		f.rx[i] = sim.NewResource(k, fmt.Sprintf("rx%d", i), 1)
+	}
+	return f
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Nodes returns the number of endpoints.
+func (f *Fabric) Nodes() int { return f.cfg.Nodes }
+
+// wireTime is the serialization time for size bytes on one NIC.
+func (f *Fabric) wireTime(size int64) time.Duration {
+	return time.Duration(float64(size) / f.cfg.Bandwidth * 1e9)
+}
+
+// Transfer moves size bytes from node `from` to node `to`, charging the
+// calling process the full transfer time including queueing on both NICs.
+// A transfer within one node costs only a small local copy time.
+func (f *Fabric) Transfer(p *sim.Proc, from, to int, size int64) {
+	if from < 0 || from >= f.cfg.Nodes || to < 0 || to >= f.cfg.Nodes {
+		panic(fmt.Sprintf("netsim: transfer %d->%d out of range", from, to))
+	}
+	if size < 0 {
+		size = 0
+	}
+	f.messages++
+	f.bytesMoved += size
+	if from == to {
+		// Loopback: memory copy, no NIC involvement.
+		p.Sleep(time.Duration(float64(size) / (4 * f.cfg.Bandwidth) * 1e9))
+		return
+	}
+	chunk := f.cfg.MaxPacket
+	if chunk <= 0 || chunk > size {
+		chunk = size
+	}
+	// Latency is paid once per message; serialization per chunk while
+	// holding both NIC directions.
+	p.Sleep(f.cfg.Latency)
+	remaining := size
+	for {
+		n := chunk
+		if n > remaining {
+			n = remaining
+		}
+		f.tx[from].Acquire(p, 1)
+		f.rx[to].Acquire(p, 1)
+		p.Sleep(f.wireTime(n))
+		f.rx[to].Release(1)
+		f.tx[from].Release(1)
+		remaining -= n
+		if remaining <= 0 {
+			break
+		}
+	}
+}
+
+// BytesMoved reports the cumulative payload bytes transferred.
+func (f *Fabric) BytesMoved() int64 { return f.bytesMoved }
+
+// Messages reports the cumulative number of Transfer calls.
+func (f *Fabric) Messages() int64 { return f.messages }

@@ -1,0 +1,334 @@
+package pfs
+
+import (
+	"fmt"
+	"time"
+
+	"lsmio/internal/netsim"
+	"lsmio/internal/sim"
+	"lsmio/internal/vfs"
+)
+
+// Cluster is the simulated storage system plus its interconnect. Compute
+// nodes occupy fabric endpoints [0, ComputeNodes); OSS j sits at endpoint
+// ComputeNodes+j.
+type Cluster struct {
+	k      *sim.Kernel
+	cfg    Config
+	fabric *netsim.Fabric
+
+	store *vfs.MemFS // the actual bytes of every file
+	mds   busyClock
+	oss   []busyClock
+	osts  []*ost
+
+	layouts    map[string]*layout // path -> striping
+	nextFileID uint64
+	allocNext  int // MDS round-robin OST allocator
+
+	stats Stats
+}
+
+// layout is a file's stripe mapping, fixed at creation (Lustre semantics).
+type layout struct {
+	id          uint64
+	stripeSize  int64
+	stripeCount int
+	osts        []int // stripe i lives on osts[i % stripeCount]
+}
+
+// busyClock is a serial server modelled by a busy-until timestamp:
+// a request arriving at t is serviced during [max(t, busy), ...+d].
+type busyClock struct {
+	busyUntil sim.Time
+}
+
+// serve books d of service starting no earlier than now and returns the
+// completion time.
+func (b *busyClock) serve(now sim.Time, d time.Duration) sim.Time {
+	start := b.busyUntil
+	if now > start {
+		start = now
+	}
+	b.busyUntil = start.Add(d)
+	return b.busyUntil
+}
+
+// ost is one object storage target: a busy clock plus positioning and
+// lock state. The array's controller cache absorbs a small number of
+// concurrent sequential streams (tracked LRU by recent position); a
+// request near any tracked stream costs no seek.
+type ost struct {
+	busyClock
+	streams    []streamPos    // most recent first, at most streamCacheSize
+	lockHolder map[uint64]int // fileID -> last writing client
+}
+
+type streamPos struct {
+	fileID uint64
+	end    int64
+}
+
+// matchStream reports whether the request continues a tracked stream and
+// updates / inserts the stream position (LRU).
+func (o *ost) matchStream(fileID uint64, objOff, n, window int64, cacheSize int) bool {
+	for i, s := range o.streams {
+		if s.fileID != fileID {
+			continue
+		}
+		gap := objOff - s.end
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap <= window {
+			// Continue this stream; move it to the front.
+			copy(o.streams[1:i+1], o.streams[:i])
+			o.streams[0] = streamPos{fileID: fileID, end: objOff + n}
+			return true
+		}
+	}
+	// New stream: seek, insert at front, evict the oldest.
+	o.streams = append(o.streams, streamPos{})
+	copy(o.streams[1:], o.streams)
+	o.streams[0] = streamPos{fileID: fileID, end: objOff + n}
+	if len(o.streams) > cacheSize {
+		o.streams = o.streams[:cacheSize]
+	}
+	return false
+}
+
+// NewCluster builds the storage system on kernel k.
+func NewCluster(k *sim.Kernel, cfg Config) *Cluster {
+	c := &Cluster{
+		k:       k,
+		cfg:     cfg.withDefaults(),
+		store:   vfs.NewMemFS(),
+		layouts: make(map[string]*layout),
+	}
+	c.fabric = netsim.New(k, netsim.Config{
+		Nodes:     c.cfg.ComputeNodes + c.cfg.NumOSSs,
+		Latency:   c.cfg.NetLatency,
+		Bandwidth: c.cfg.NetBandwidth,
+		MaxPacket: c.cfg.NetMaxPacket,
+	})
+	c.oss = make([]busyClock, c.cfg.NumOSSs)
+	c.osts = make([]*ost, c.cfg.NumOSTs)
+	for i := range c.osts {
+		c.osts[i] = &ost{lockHolder: make(map[uint64]int)}
+	}
+	return c
+}
+
+// Kernel returns the simulation kernel.
+func (c *Cluster) Kernel() *sim.Kernel { return c.k }
+
+// Fabric returns the interconnect (shared with the MPI world).
+func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Stats returns cumulative storage statistics.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Store exposes the backing in-memory store (tests use it to verify data).
+func (c *Cluster) Store() *vfs.MemFS { return c.store }
+
+func (c *Cluster) ossNodeID(ossIdx int) int { return c.cfg.ComputeNodes + ossIdx }
+func (c *Cluster) ossOf(ostIdx int) int     { return ostIdx % c.cfg.NumOSSs }
+
+// cur returns the calling simulation process.
+func (c *Cluster) cur() *sim.Proc {
+	p := c.k.Current()
+	if p == nil {
+		panic("pfs: filesystem used outside a simulation process")
+	}
+	return p
+}
+
+// newLayout allocates striping for a new file.
+func (c *Cluster) newLayout(stripeCount int, stripeSize int64) *layout {
+	if stripeCount <= 0 {
+		stripeCount = c.cfg.DefaultStripeCount
+	}
+	if stripeCount > c.cfg.NumOSTs {
+		stripeCount = c.cfg.NumOSTs
+	}
+	if stripeSize <= 0 {
+		stripeSize = c.cfg.DefaultStripeSize
+	}
+	c.nextFileID++
+	l := &layout{
+		id:          c.nextFileID,
+		stripeSize:  stripeSize,
+		stripeCount: stripeCount,
+		osts:        make([]int, stripeCount),
+	}
+	start := c.allocNext
+	c.allocNext = (c.allocNext + stripeCount) % c.cfg.NumOSTs
+	for i := 0; i < stripeCount; i++ {
+		l.osts[i] = (start + i) % c.cfg.NumOSTs
+	}
+	return l
+}
+
+// chargeMDS books one metadata operation to the calling process: a network
+// round trip plus serialized MDS service.
+func (c *Cluster) chargeMDS(p *sim.Proc, client int) {
+	c.stats.MetadataOps++
+	// Request to the MDS (modelled as living beside OSS 0).
+	c.fabric.Transfer(p, client, c.ossNodeID(0), 256)
+	done := c.mds.serve(p.Now(), c.cfg.MDSOpTime)
+	if wait := done.Sub(p.Now()); wait > 0 {
+		p.Sleep(wait)
+	}
+	p.Sleep(c.cfg.NetLatency) // reply
+}
+
+// run is one contiguous byte range on a single OST object.
+type run struct {
+	ostIdx int
+	objOff int64
+	n      int64
+}
+
+// stripeRuns splits a file byte range into per-OST contiguous object runs,
+// in ascending file-offset order of their first chunk.
+func (l *layout) stripeRuns(off, n int64) []run {
+	if n <= 0 {
+		return nil
+	}
+	var runs []run
+	byOST := make(map[int]int) // ostIdx -> index in runs
+	for rem := n; rem > 0; {
+		ci := off / l.stripeSize
+		within := off % l.stripeSize
+		take := l.stripeSize - within
+		if take > rem {
+			take = rem
+		}
+		ostIdx := l.osts[int(ci)%l.stripeCount]
+		objOff := (ci/int64(l.stripeCount))*l.stripeSize + within
+		if i, ok := byOST[ostIdx]; ok && runs[i].objOff+runs[i].n == objOff {
+			runs[i].n += take
+		} else {
+			byOST[ostIdx] = len(runs)
+			runs = append(runs, run{ostIdx: ostIdx, objOff: objOff, n: take})
+		}
+		off += take
+		rem -= take
+	}
+	return runs
+}
+
+// ostService computes and books one request's service on an OST,
+// returning its completion time.
+func (c *Cluster) ostService(o *ost, now sim.Time, client int, l *layout, r run, isWrite bool) sim.Time {
+	var d time.Duration
+	d += c.cfg.OSTOpOverhead
+	if isWrite {
+		d += time.Duration(float64(r.n) / c.cfg.OSTSeqWriteBW * 1e9)
+	} else {
+		d += time.Duration(float64(r.n) / c.cfg.OSTSeqReadBW * 1e9)
+	}
+	// Positioning: a request near one of the OST's tracked streams is
+	// absorbed by the elevator and controller cache; anything else seeks.
+	if !o.matchStream(l.id, r.objOff, r.n, c.cfg.CoalesceWindow, c.cfg.OSTStreamCache) {
+		if isWrite {
+			d += c.cfg.WriteSeek
+		} else {
+			d += c.cfg.ReadSeek
+		}
+		c.stats.Seeks++
+	}
+	// Extent locks: writes by a non-holder migrate the lock.
+	if isWrite {
+		if holder, ok := o.lockHolder[l.id]; ok && holder != client {
+			d += c.cfg.LockSwitch
+			c.stats.LockSwitches++
+		}
+		o.lockHolder[l.id] = client
+	}
+	return o.serve(now, d)
+}
+
+// chargeWriteCPU books the client-side data-path cost of accepting n
+// bytes into the write-back cache (page copy + checksum).
+func (c *Cluster) chargeWriteCPU(p *sim.Proc, n int64) {
+	c.stats.BytesWritten += n
+	p.Sleep(time.Duration(float64(n) / c.cfg.ClientStreamBW * 1e9))
+}
+
+// chargeWriteRPC ships a coalesced dirty extent: per-stripe-run RPC
+// overhead and network transfer synchronously, then asynchronous device
+// completion with dirty-lag backpressure. It returns the latest device
+// completion time.
+func (c *Cluster) chargeWriteRPC(p *sim.Proc, client int, l *layout, off, n int64) sim.Time {
+	var latest sim.Time
+	for _, r := range l.stripeRuns(off, n) {
+		c.stats.WriteOps++
+		p.Sleep(c.cfg.ClientRPCOverhead)
+		// Wire to the OSS.
+		ossIdx := c.ossOf(r.ostIdx)
+		c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), r.n)
+		// OSS backend, then OST, asynchronously from the client.
+		ossDone := c.oss[ossIdx].serve(p.Now(),
+			time.Duration(float64(r.n)/c.cfg.OSSBandwidth*1e9))
+		done := c.ostService(c.osts[r.ostIdx], ossDone, client, l, r, true)
+		if done > latest {
+			latest = done
+		}
+		// Dirty-lag backpressure: stall until the device is close enough.
+		if lag := done.Sub(p.Now()); lag > c.cfg.MaxDirtyLag {
+			c.stats.ClientStalls++
+			p.Sleep(lag - c.cfg.MaxDirtyLag)
+		}
+	}
+	return latest
+}
+
+// chargeRead books a synchronous client read.
+func (c *Cluster) chargeRead(p *sim.Proc, client int, l *layout, off, n int64) {
+	c.stats.BytesRead += n
+	for _, r := range l.stripeRuns(off, n) {
+		c.stats.ReadOps++
+		p.Sleep(c.cfg.ClientRPCOverhead)
+		ossIdx := c.ossOf(r.ostIdx)
+		// Request travels to the OSS (small), data comes back.
+		c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), 128)
+		done := c.ostService(c.osts[r.ostIdx], p.Now(), client, l, r, false)
+		if wait := done.Sub(p.Now()); wait > 0 {
+			p.Sleep(wait)
+		}
+		c.fabric.Transfer(p, c.ossNodeID(ossIdx), client, r.n)
+		// Client-side copy out of the reply.
+		p.Sleep(time.Duration(float64(r.n) / c.cfg.ClientStreamBW * 1e9))
+	}
+}
+
+// OSTUtilization returns each OST's busy time as a fraction of elapsed
+// virtual time (diagnostics for the harness).
+func (c *Cluster) OSTUtilization() []float64 {
+	now := c.k.Now()
+	if now == 0 {
+		return make([]float64, len(c.osts))
+	}
+	out := make([]float64, len(c.osts))
+	for i, o := range c.osts {
+		busy := o.busyUntil
+		if busy > now {
+			busy = now
+		}
+		out[i] = busy.Seconds() / now.Seconds()
+	}
+	return out
+}
+
+// DescribeLayout reports a file's striping, for tests and tooling.
+func (c *Cluster) DescribeLayout(path string) (stripeCount int, stripeSize int64, osts []int, err error) {
+	l, ok := c.layouts[normalize(path)]
+	if !ok {
+		return 0, 0, nil, fmt.Errorf("pfs: no layout for %s: %w", path, vfs.ErrNotExist)
+	}
+	return l.stripeCount, l.stripeSize, append([]int(nil), l.osts...), nil
+}

@@ -1,0 +1,273 @@
+// Package snappy implements the Snappy block format (the compression
+// RocksDB uses by default) from scratch: an LZ77-family byte-oriented
+// codec favouring speed over ratio. The encoder uses the reference
+// implementation's hash-table strategy; the decoder accepts any valid
+// Snappy block stream.
+//
+// Format (https://github.com/google/snappy/blob/main/format_description.txt):
+//
+//	block  := uvarint(uncompressedLen) element*
+//	element:= literal | copy
+//	tag & 3: 0 literal, 1 copy with 1-byte offset, 2 copy with 2-byte
+//	         offset, 3 copy with 4-byte offset
+package snappy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by Decode.
+var (
+	ErrCorrupt  = errors.New("snappy: corrupt input")
+	ErrTooLarge = errors.New("snappy: decoded block is too large")
+)
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+
+	maxBlockDecodedLen = 1 << 30
+)
+
+// MaxEncodedLen returns the worst-case encoded size for srcLen input
+// bytes.
+func MaxEncodedLen(srcLen int) int {
+	// varint + literals with headers every <=60 bytes is bounded by
+	// the reference formula.
+	return 32 + srcLen + srcLen/6
+}
+
+// Encode compresses src, appending to dst (which may be nil).
+func Encode(dst, src []byte) []byte {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(src)))
+	dst = append(dst, hdr[:n]...)
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < 16 {
+		// Too short to find profitable matches.
+		return emitLiteral(dst, src)
+	}
+
+	// Hash table of candidate positions for 4-byte sequences.
+	const tableBits = 14
+	var table [1 << tableBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	hash := func(u uint32) uint32 {
+		return (u * 0x1e35a7bd) >> (32 - tableBits)
+	}
+	load32 := func(i int) uint32 {
+		return binary.LittleEndian.Uint32(src[i:])
+	}
+
+	var litStart int
+	s := 0
+	limit := len(src) - 4
+	for s <= limit {
+		h := hash(load32(s))
+		candidate := table[h]
+		table[h] = int32(s)
+		if candidate >= 0 && s-int(candidate) <= 65535 && load32(int(candidate)) == load32(s) {
+			// Emit pending literals, then extend the match.
+			dst = emitLiteral(dst, src[litStart:s])
+			base := s
+			matched := 4
+			s += 4
+			c := int(candidate) + 4
+			for s < len(src) && c < len(src) && src[s] == src[c] {
+				s++
+				c++
+				matched++
+			}
+			dst = emitCopy(dst, base-int(candidate), matched)
+			litStart = s
+			continue
+		}
+		s++
+	}
+	return emitLiteral(dst, src[litStart:])
+}
+
+// emitLiteral appends a literal element for lit.
+func emitLiteral(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		chunk := lit
+		// One literal element can carry up to 2^32 bytes, but keep the
+		// 1-4 extra-byte encodings exercised with a generous cap.
+		if len(chunk) > 1<<24 {
+			chunk = chunk[:1<<24]
+		}
+		n := len(chunk) - 1
+		switch {
+		case n < 60:
+			dst = append(dst, byte(n)<<2|tagLiteral)
+		case n < 1<<8:
+			dst = append(dst, 60<<2|tagLiteral, byte(n))
+		case n < 1<<16:
+			dst = append(dst, 61<<2|tagLiteral, byte(n), byte(n>>8))
+		default:
+			dst = append(dst, 62<<2|tagLiteral, byte(n), byte(n>>8), byte(n>>16))
+		}
+		dst = append(dst, chunk...)
+		lit = lit[len(chunk):]
+	}
+	return dst
+}
+
+// emitCopy appends copy elements for a match of the given length at the
+// given backward offset.
+func emitCopy(dst []byte, offset, length int) []byte {
+	// Long matches are split into <=64-byte copies (copy2 form handles
+	// any offset up to 65535; the encoder never produces larger offsets).
+	for length >= 68 {
+		dst = append(dst, 63<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length > 64 {
+		// Leave >=4 for the final copy.
+		dst = append(dst, 59<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 60
+	}
+	if length >= 12 || offset >= 2048 || length < 4 {
+		dst = append(dst, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+		return dst
+	}
+	// copy1: 4 <= length < 12, offset < 2048.
+	dst = append(dst,
+		byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1,
+		byte(offset))
+	return dst
+}
+
+// DecodedLen returns the uncompressed length recorded in a block.
+func DecodedLen(src []byte) (int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	if v > maxBlockDecodedLen {
+		return 0, ErrTooLarge
+	}
+	return int(v), nil
+}
+
+// Decode decompresses src, appending to dst (which may be nil).
+func Decode(dst, src []byte) ([]byte, error) {
+	decodedLen, err := DecodedLen(src)
+	if err != nil {
+		return nil, err
+	}
+	_, n := binary.Uvarint(src)
+	src = src[n:]
+
+	out := dst
+	base := len(out)
+	for len(src) > 0 {
+		tag := src[0]
+		switch tag & 3 {
+		case tagLiteral:
+			n := int(tag >> 2)
+			src = src[1:]
+			switch {
+			case n < 60:
+				n++
+			case n == 60:
+				if len(src) < 1 {
+					return nil, ErrCorrupt
+				}
+				n = int(src[0]) + 1
+				src = src[1:]
+			case n == 61:
+				if len(src) < 2 {
+					return nil, ErrCorrupt
+				}
+				n = int(src[0]) | int(src[1])<<8
+				n++
+				src = src[2:]
+			case n == 62:
+				if len(src) < 3 {
+					return nil, ErrCorrupt
+				}
+				n = int(src[0]) | int(src[1])<<8 | int(src[2])<<16
+				n++
+				src = src[3:]
+			default: // 63
+				if len(src) < 4 {
+					return nil, ErrCorrupt
+				}
+				n = int(binary.LittleEndian.Uint32(src))
+				n++
+				src = src[4:]
+			}
+			if n < 0 || n > len(src) {
+				return nil, ErrCorrupt
+			}
+			out = append(out, src[:n]...)
+			src = src[n:]
+		case tagCopy1:
+			if len(src) < 2 {
+				return nil, ErrCorrupt
+			}
+			length := 4 + int(tag>>2)&0x7
+			offset := int(tag&0xe0)<<3 | int(src[1])
+			src = src[2:]
+			var err error
+			out, err = copyBack(out, base, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		case tagCopy2:
+			if len(src) < 3 {
+				return nil, ErrCorrupt
+			}
+			length := 1 + int(tag>>2)
+			offset := int(src[1]) | int(src[2])<<8
+			src = src[3:]
+			var err error
+			out, err = copyBack(out, base, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		case tagCopy4:
+			if len(src) < 5 {
+				return nil, ErrCorrupt
+			}
+			length := 1 + int(tag>>2)
+			offset := int(binary.LittleEndian.Uint32(src[1:]))
+			src = src[5:]
+			var err error
+			out, err = copyBack(out, base, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(out)-base > decodedLen {
+			return nil, ErrCorrupt
+		}
+	}
+	if len(out)-base != decodedLen {
+		return nil, fmt.Errorf("%w: decoded %d bytes, header says %d",
+			ErrCorrupt, len(out)-base, decodedLen)
+	}
+	return out, nil
+}
+
+// copyBack appends length bytes starting offset bytes before the end of
+// out (overlapping copies are byte-at-a-time, per the format).
+func copyBack(out []byte, base, offset, length int) ([]byte, error) {
+	if offset <= 0 || length <= 0 || offset > len(out)-base {
+		return nil, ErrCorrupt
+	}
+	pos := len(out) - offset
+	for i := 0; i < length; i++ {
+		out = append(out, out[pos+i])
+	}
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// fsUnderTest runs the same behavioural suite over every FS implementation.
+func fsUnderTest(t *testing.T) map[string]FS {
+	osfs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]FS{
+		"mem": NewMemFS(),
+		"os":  osfs,
+	}
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	for name, fsys := range fsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fsys.Create("dir/sub/file.dat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("hello ")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("world")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			g, err := fsys.Open("dir/sub/file.dat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := ReadAll(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != "hello world" {
+				t.Fatalf("got %q", data)
+			}
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReadAtWriteAt(t *testing.T) {
+	for name, fsys := range fsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fsys.Create("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.WriteAt([]byte("abcdef"), 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt([]byte("XY"), 2); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 6)
+			if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf) != "abXYef" {
+				t.Fatalf("got %q", buf)
+			}
+			// Sparse extension.
+			if _, err := f.WriteAt([]byte("Z"), 10); err != nil {
+				t.Fatal(err)
+			}
+			if size, _ := f.Size(); size != 11 {
+				t.Fatalf("size = %d, want 11", size)
+			}
+		})
+	}
+}
+
+func TestSeek(t *testing.T) {
+	for name, fsys := range fsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("f")
+			defer f.Close()
+			f.Write([]byte("0123456789"))
+			if pos, err := f.Seek(2, io.SeekStart); err != nil || pos != 2 {
+				t.Fatalf("seek: %v %v", pos, err)
+			}
+			b := make([]byte, 3)
+			f.Read(b)
+			if string(b) != "234" {
+				t.Fatalf("got %q", b)
+			}
+			if pos, _ := f.Seek(-2, io.SeekEnd); pos != 8 {
+				t.Fatalf("seek end: %d", pos)
+			}
+			if pos, _ := f.Seek(1, io.SeekCurrent); pos != 9 {
+				t.Fatalf("seek current: %d", pos)
+			}
+		})
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	for name, fsys := range fsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := fsys.Open("nope"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("err = %v, want ErrNotExist", err)
+			}
+			if _, err := fsys.Stat("nope"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("stat err = %v", err)
+			}
+			if err := fsys.Remove("nope"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("remove err = %v", err)
+			}
+		})
+	}
+}
+
+func TestRename(t *testing.T) {
+	for name, fsys := range fsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("a")
+			f.Write([]byte("payload"))
+			f.Close()
+			if err := fsys.Rename("a", "b/c"); err != nil {
+				t.Fatal(err)
+			}
+			if fsys.Exists("a") {
+				t.Fatal("old name still exists")
+			}
+			g, err := fsys.Open("b/c")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := ReadAll(g)
+			g.Close()
+			if string(data) != "payload" {
+				t.Fatalf("got %q", data)
+			}
+		})
+	}
+}
+
+func TestList(t *testing.T) {
+	for name, fsys := range fsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, p := range []string{"d/b", "d/a", "d/sub/x", "top"} {
+				f, err := fsys.Create(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+			names, err := fsys.List("d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"a", "b", "sub"}
+			if len(names) != len(want) {
+				t.Fatalf("names = %v, want %v", names, want)
+			}
+			for i := range want {
+				if names[i] != want[i] {
+					t.Fatalf("names = %v, want %v", names, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	for name, fsys := range fsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("f")
+			defer f.Close()
+			f.Write([]byte("0123456789"))
+			if err := f.Truncate(4); err != nil {
+				t.Fatal(err)
+			}
+			if size, _ := f.Size(); size != 4 {
+				t.Fatalf("size = %d", size)
+			}
+			if err := f.Truncate(8); err != nil {
+				t.Fatal(err)
+			}
+			data, _ := ReadAll(f)
+			if !bytes.Equal(data, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+				t.Fatalf("data = %q", data)
+			}
+		})
+	}
+}
+
+func TestClosedFileRejectsIO(t *testing.T) {
+	fsys := NewMemFS()
+	f, _ := fsys.Create("f")
+	f.Close()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write err = %v", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read err = %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("double close err = %v", err)
+	}
+}
+
+// Property: for any sequence of (offset, data) writes, reading the whole
+// file back matches an in-memory reference model.
+func TestQuickWriteAtMatchesModel(t *testing.T) {
+	fn := func(ops []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		fsys := NewMemFS()
+		f, _ := fsys.Create("f")
+		defer f.Close()
+		var model []byte
+		for _, op := range ops {
+			off := int64(op.Off % 4096)
+			end := off + int64(len(op.Data))
+			if end > int64(len(model)) {
+				grown := make([]byte, end)
+				copy(grown, model)
+				model = grown
+			}
+			copy(model[off:end], op.Data)
+			if _, err := f.WriteAt(op.Data, off); err != nil {
+				return false
+			}
+		}
+		got, err := ReadAll(f)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSTotalBytes(t *testing.T) {
+	fsys := NewMemFS()
+	f, _ := fsys.Create("a")
+	f.Write(make([]byte, 100))
+	f.Close()
+	g, _ := fsys.Create("b")
+	g.Write(make([]byte, 50))
+	g.Close()
+	if got := fsys.TotalBytes(); got != 150 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
