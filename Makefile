@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check race vet bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1: fast correctness gate (crash-enumeration sweeps are skipped
+# under -short; run `make check` for the full suite).
+test:
+	$(GO) build ./... && $(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full gate: vet + the complete test suite (including the crash-point
+# enumeration sweeps in internal/robustness) under the race detector.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -33,6 +33,10 @@ var ErrNoCheckpoint = errors.New("ckpt: no committed checkpoint")
 // ErrCorrupt reports a checksum mismatch on read-back.
 var ErrCorrupt = errors.New("ckpt: data corruption detected")
 
+// ErrIncomplete reports a committed checkpoint whose manifest references
+// data that is missing from the store (half-written or partially lost).
+var ErrIncomplete = errors.New("ckpt: checkpoint incomplete")
+
 // Options configures a checkpoint store.
 type Options struct {
 	// Keep retains only the newest Keep committed checkpoints; older ones
@@ -180,16 +184,23 @@ func (s *Store) Steps() ([]int64, error) {
 	return steps, nil
 }
 
-// Latest returns the newest committed step.
+// Latest returns the newest committed step that has not been quarantined
+// (see Quarantine / RestoreLatest in recover.go).
 func (s *Store) Latest() (int64, error) {
 	steps, err := s.Steps()
 	if err != nil {
 		return 0, err
 	}
-	if len(steps) == 0 {
-		return 0, ErrNoCheckpoint
+	quarantined, err := s.Quarantined()
+	if err != nil {
+		return 0, err
 	}
-	return steps[len(steps)-1], nil
+	for i := len(steps) - 1; i >= 0; i-- {
+		if _, bad := quarantined[steps[i]]; !bad {
+			return steps[i], nil
+		}
+	}
+	return 0, ErrNoCheckpoint
 }
 
 // Manifest returns a committed checkpoint's variable inventory.
@@ -215,7 +226,8 @@ func (s *Store) loadManifest(step int64) (*manifest, error) {
 	}
 	var m manifest
 	if err := json.Unmarshal(blob, &m); err != nil {
-		return nil, fmt.Errorf("ckpt: corrupt manifest for step %d: %v", step, err)
+		return nil, fmt.Errorf("%w: manifest for step %d (store key %s): %v",
+			ErrCorrupt, step, s.manifestKey(step), err)
 	}
 	return &m, nil
 }
@@ -232,11 +244,16 @@ func (s *Store) Read(step int64, name string) ([]byte, error) {
 			continue
 		}
 		data, err := s.mgr.Get(s.dataKey(step, name))
+		if errors.Is(err, core.ErrNotFound) {
+			return nil, fmt.Errorf("%w: step %d variable %q (store key %s)",
+				ErrIncomplete, step, name, s.dataKey(step, name))
+		}
 		if err != nil {
 			return nil, err
 		}
 		if int64(len(data)) != v.Bytes || crc32.ChecksumIEEE(data) != v.CRC {
-			return nil, fmt.Errorf("%w: step %d variable %q", ErrCorrupt, step, name)
+			return nil, fmt.Errorf("%w: step %d variable %q (store key %s)",
+				ErrCorrupt, step, name, s.dataKey(step, name))
 		}
 		return data, nil
 	}
@@ -269,10 +286,12 @@ func (s *Store) ReadAll(step int64) (map[string][]byte, error) {
 	for name, v := range want {
 		data, ok := out[name]
 		if !ok {
-			return nil, fmt.Errorf("ckpt: step %d missing variable %q", step, name)
+			return nil, fmt.Errorf("%w: step %d missing variable %q (store key %s)",
+				ErrIncomplete, step, name, s.dataKey(step, name))
 		}
 		if int64(len(data)) != v.Bytes || crc32.ChecksumIEEE(data) != v.CRC {
-			return nil, fmt.Errorf("%w: step %d variable %q", ErrCorrupt, step, name)
+			return nil, fmt.Errorf("%w: step %d variable %q (store key %s)",
+				ErrCorrupt, step, name, s.dataKey(step, name))
 		}
 	}
 	return out, nil

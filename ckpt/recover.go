@@ -1,0 +1,122 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Graceful degradation after partial failures. A checkpoint that commits
+// its manifest but is later found corrupt or incomplete (disk damage, a
+// torn write the barrier protocol did not cover, an operator fat-finger)
+// must not brick the restart path: restore falls back to the newest step
+// that verifies end-to-end, and the damaged step is quarantined — recorded
+// in the store so later Latest/RestoreLatest calls skip it without
+// re-verifying, and operators can inspect what was lost and why.
+
+func (s *Store) quarantineKey(step int64) string {
+	return fmt.Sprintf("%s/quarantine/%016d", s.pfx, step)
+}
+
+func (s *Store) quarantinePrefix() string { return s.pfx + "/quarantine/" }
+
+// Quarantine marks a committed step as damaged. The step's data is kept
+// (forensics may still recover pieces of it) but Latest, LatestVerified
+// and RestoreLatest will skip it. Reason is stored for operators.
+func (s *Store) Quarantine(step int64, reason string) error {
+	return s.mgr.Put(s.quarantineKey(step), []byte(reason))
+}
+
+// Unquarantine clears a step's quarantine mark (e.g. after a manual
+// repair).
+func (s *Store) Unquarantine(step int64) error {
+	return s.mgr.Del(s.quarantineKey(step))
+}
+
+// Quarantined returns every quarantined step with its recorded reason.
+func (s *Store) Quarantined() (map[int64]string, error) {
+	out := make(map[int64]string)
+	err := s.mgr.ReadBatch(s.quarantinePrefix(), func(key string, value []byte) bool {
+		raw := strings.TrimPrefix(key, s.quarantinePrefix())
+		if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			out[n] = string(value)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Verify checks a committed step end-to-end: the manifest parses and every
+// variable is present with the recorded length and checksum. It returns
+// nil, an error wrapping ErrCorrupt/ErrIncomplete naming the offending
+// store key, or a store-level error.
+func (s *Store) Verify(step int64) error {
+	_, err := s.ReadAll(step)
+	return err
+}
+
+// LatestVerified returns the newest committed step that passes Verify,
+// skipping (but not modifying) quarantined steps. Unlike Latest it pays a
+// full read of each candidate until one verifies.
+func (s *Store) LatestVerified() (int64, error) {
+	steps, err := s.Steps()
+	if err != nil {
+		return 0, err
+	}
+	quarantined, err := s.Quarantined()
+	if err != nil {
+		return 0, err
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		step := steps[i]
+		if _, bad := quarantined[step]; bad {
+			continue
+		}
+		verr := s.Verify(step)
+		if verr == nil {
+			return step, nil
+		}
+		if errors.Is(verr, ErrCorrupt) || errors.Is(verr, ErrIncomplete) {
+			continue
+		}
+		return 0, verr
+	}
+	return 0, ErrNoCheckpoint
+}
+
+// RestoreLatest restores the newest fully-verified checkpoint. Steps that
+// fail verification (corrupt or incomplete) are quarantined with the
+// failure as the reason, and the search falls back to the next-newest
+// step. It returns ErrNoCheckpoint when no step survives.
+func (s *Store) RestoreLatest() (int64, map[string][]byte, error) {
+	steps, err := s.Steps()
+	if err != nil {
+		return 0, nil, err
+	}
+	quarantined, err := s.Quarantined()
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		step := steps[i]
+		if _, bad := quarantined[step]; bad {
+			continue
+		}
+		state, rerr := s.ReadAll(step)
+		if rerr == nil {
+			return step, state, nil
+		}
+		if errors.Is(rerr, ErrCorrupt) || errors.Is(rerr, ErrIncomplete) {
+			if qerr := s.Quarantine(step, rerr.Error()); qerr != nil {
+				return 0, nil, qerr
+			}
+			continue
+		}
+		return 0, nil, rerr
+	}
+	return 0, nil, ErrNoCheckpoint
+}

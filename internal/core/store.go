@@ -225,7 +225,6 @@ func scanDB(db *lsm.DB, prefix string, fn func(key string, value []byte) bool) e
 	if err != nil {
 		return err
 	}
-	defer it.Close()
 	for it.SeekToFirst(); it.Valid(); it.Next() {
 		key := string(it.Key())
 		if !strings.HasPrefix(key, prefix) {
@@ -235,7 +234,10 @@ func scanDB(db *lsm.DB, prefix string, fn func(key string, value []byte) bool) e
 			break
 		}
 	}
-	return nil
+	// A corrupt block mid-scan silently terminates iteration; Close is
+	// where the engine reports it. Swallowing that error would make a
+	// truncated scan look like a complete one.
+	return it.Close()
 }
 
 // prefixSuccessor returns the smallest key greater than every key with

@@ -1,0 +1,651 @@
+// Package faultfs is a deterministic fault-injecting wrapper around any
+// vfs.FS (MemFS, OSFS, or the simulated PFS client). It is the test
+// substrate for the repository's crash-recovery guarantees:
+//
+//   - Scheduled error injection: fail the Nth Write/Sync/Rename/... whose
+//     path matches a pattern, with transient or permanent errors (Rule).
+//   - Torn writes: a failing write may persist only a prefix of its data
+//     (Rule.KeepPrefix), modeling a partial page writeback.
+//   - Crash simulation: Crash() discards every byte not covered by a
+//     completed Sync (or Barrier), modeling loss of the page cache, and
+//     kills all open handles.
+//   - Crash-point enumeration: with recording enabled the wrapper keeps an
+//     op journal and can materialize, for every durability boundary the
+//     workload crossed, the exact filesystem image a crash at that boundary
+//     would leave behind (journal.go) — crashmonkey-style.
+//
+// Fault model (see also README.md in this package): namespace operations
+// (Create, Remove, Rename, MkdirAll) are atomic and immediately durable, in
+// order, as on a journaled file system with ordered metadata. File *data*
+// is volatile until the handle completes a Sync (or the filesystem-level
+// Barrier, on backends that have one). Rename moves a file's durable bytes
+// with its name. This is exactly the contract the LSM engine's
+// WAL/SSTable/manifest protocol assumes of its underlying file system.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"strings"
+	"sync"
+
+	"lsmio/internal/vfs"
+)
+
+// Op identifies a filesystem operation class for fault matching.
+type Op int
+
+// Operation classes. OpAny matches every class in a Rule.
+const (
+	OpAny Op = iota
+	OpCreate
+	OpOpen
+	OpRemove
+	OpRename
+	OpMkdirAll
+	OpList
+	OpStat
+	OpRead  // Read and ReadAt
+	OpWrite // Write and WriteAt
+	OpSync
+	OpTruncate
+	OpClose
+	OpBarrier
+)
+
+var opNames = map[Op]string{
+	OpAny: "any", OpCreate: "create", OpOpen: "open", OpRemove: "remove",
+	OpRename: "rename", OpMkdirAll: "mkdirall", OpList: "list", OpStat: "stat",
+	OpRead: "read", OpWrite: "write", OpSync: "sync", OpTruncate: "truncate",
+	OpClose: "close", OpBarrier: "barrier",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Sentinel errors. Injected faults wrap ErrInjected; operations on handles
+// opened before a Crash (and writes after a scheduled crash) wrap
+// ErrCrashed.
+var (
+	ErrInjected = errors.New("faultfs: injected fault")
+	ErrCrashed  = errors.New("faultfs: filesystem crashed")
+)
+
+// InjectedError is the concrete error produced by a firing Rule (unless the
+// rule carries its own).
+type InjectedError struct {
+	Op        Op
+	Path      string
+	Transient bool
+}
+
+func (e *InjectedError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("faultfs: injected %s %s fault on %q", kind, e.Op, e.Path)
+}
+
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// TransientFault marks the error as retryable. Consumers (the PFS client's
+// retry loop) classify via this method through errors.As, so they need not
+// import this package.
+func (e *InjectedError) TransientFault() bool { return e.Transient }
+
+// IsTransient reports whether err (anywhere in its chain) marks itself as a
+// transient, retryable fault.
+func IsTransient(err error) bool {
+	var t interface{ TransientFault() bool }
+	return errors.As(err, &t) && t.TransientFault()
+}
+
+// Rule schedules fault injection. A rule fires on the Nth call matching
+// (Op, Path), and keeps firing for Times consecutive matches.
+type Rule struct {
+	// Op restricts the rule to one operation class (OpAny: all).
+	Op Op
+	// Path matches the operation's path: a path.Match pattern, or, failing
+	// that, a substring. Empty matches every path. Rename matches on the
+	// old name.
+	Path string
+	// Nth is the 1-based index of the first matching call that fails
+	// (0 is treated as 1).
+	Nth int
+	// Times is how many consecutive matching calls fail from Nth on
+	// (0 is treated as 1; negative means forever).
+	Times int
+	// Transient marks injected errors as retryable (IsTransient).
+	Transient bool
+	// KeepPrefix, for OpWrite rules, persists the first KeepPrefix bytes
+	// of the failing write before returning the error — a torn write.
+	KeepPrefix int64
+	// Err overrides the returned error (default: *InjectedError). The
+	// returned error always wraps it.
+	Err error
+
+	seen  int
+	fired int
+}
+
+func (r *Rule) matches(op Op, p string) bool {
+	if r.Op != OpAny && r.Op != op {
+		return false
+	}
+	if r.Path == "" {
+		return true
+	}
+	if ok, err := path.Match(r.Path, p); err == nil && ok {
+		return true
+	}
+	return strings.Contains(p, r.Path)
+}
+
+// fire advances the rule's counters for one matching call and reports
+// whether it injects a fault this time.
+func (r *Rule) fire() bool {
+	r.seen++
+	nth := r.Nth
+	if nth <= 0 {
+		nth = 1
+	}
+	times := r.Times
+	if times == 0 {
+		times = 1
+	}
+	if r.seen < nth {
+		return false
+	}
+	if times > 0 && r.fired >= times {
+		return false
+	}
+	r.fired++
+	return true
+}
+
+func (r *Rule) err(op Op, p string) error {
+	ie := &InjectedError{Op: op, Path: p, Transient: r.Transient}
+	if r.Err != nil {
+		return fmt.Errorf("%w: %w", r.Err, ie)
+	}
+	return ie
+}
+
+// FS wraps an inner vfs.FS with fault injection and crash tracking. It is
+// safe for concurrent use, but never holds its own lock across inner-FS
+// calls (the inner FS may cooperatively yield inside a simulation).
+type FS struct {
+	inner vfs.FS
+
+	mu       sync.Mutex
+	rules    []*Rule
+	injected int
+	gen      int // bumped by Crash(); stale handles die
+
+	// durable holds the last synced image of every path touched through
+	// the wrapper (the bytes a crash preserves). Presence in the map means
+	// the file durably exists.
+	durable map[string][]byte
+	dirs    map[string]bool
+
+	// Journal state (journal.go).
+	recording  bool
+	journal    []journalOp
+	base       map[string][]byte
+	baseDirs   []string
+	boundaries int
+}
+
+// New wraps inner. Files already present in inner are treated as fully
+// durable.
+func New(inner vfs.FS) *FS {
+	return &FS{
+		inner:   inner,
+		durable: make(map[string][]byte),
+		dirs:    make(map[string]bool),
+	}
+}
+
+// Inner returns the wrapped filesystem.
+func (f *FS) Inner() vfs.FS { return f.inner }
+
+// AddRule registers a fault-injection rule and returns it.
+func (f *FS) AddRule(r *Rule) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, r)
+	return r
+}
+
+// ClearRules removes all fault-injection rules.
+func (f *FS) ClearRules() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+}
+
+// Injected returns how many faults have been injected so far.
+func (f *FS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Boundaries returns the number of durability boundaries (Create, Remove,
+// Rename, Sync, Barrier) crossed since New or the last StartRecording.
+func (f *FS) Boundaries() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.boundaries
+}
+
+func cleanPath(name string) string {
+	name = path.Clean(strings.TrimPrefix(name, "/"))
+	if name == "" {
+		name = "."
+	}
+	return name
+}
+
+// check consults the rules for one (op, path) call.
+func (f *FS) check(op Op, p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.matches(op, p) && r.fire() {
+			f.injected++
+			return r.err(op, p)
+		}
+	}
+	return nil
+}
+
+// checkWrite is check for write ops, also returning the matched rule's
+// KeepPrefix (bytes to persist before failing).
+func (f *FS) checkWrite(p string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.matches(OpWrite, p) && r.fire() {
+			f.injected++
+			return r.KeepPrefix, r.err(OpWrite, p)
+		}
+	}
+	return 0, nil
+}
+
+// snapshotInner reads a file's current bytes from the inner FS (used to
+// establish the durable baseline of pre-existing files).
+func (f *FS) snapshotInner(p string) []byte {
+	h, err := f.inner.Open(p)
+	if err != nil {
+		return nil
+	}
+	defer h.Close()
+	data, err := vfs.ReadAll(h)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+var _ vfs.FS = (*FS)(nil)
+
+// Create implements vfs.FS. Creation is a durability boundary: the file
+// durably exists (empty) from this point on.
+func (f *FS) Create(name string) (vfs.File, error) {
+	name = cleanPath(name)
+	if err := f.check(OpCreate, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.durable[name] = []byte{}
+	f.noteLocked(journalOp{op: OpCreate, path: name}, true)
+	gen := f.gen
+	f.mu.Unlock()
+	return &file{fs: f, inner: inner, path: name, gen: gen}, nil
+}
+
+// Open implements vfs.FS.
+func (f *FS) Open(name string) (vfs.File, error) {
+	name = cleanPath(name)
+	if err := f.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	tracked := false
+	if _, ok := f.durable[name]; ok {
+		tracked = true
+	}
+	gen := f.gen
+	f.mu.Unlock()
+	if !tracked {
+		// Pre-existing file: what is on disk now is durable.
+		data := f.snapshotInner(name)
+		f.mu.Lock()
+		if _, ok := f.durable[name]; !ok {
+			f.durable[name] = data
+		}
+		f.mu.Unlock()
+	}
+	return &file{fs: f, inner: inner, path: name, gen: gen}, nil
+}
+
+// Remove implements vfs.FS. Removal is a durability boundary.
+func (f *FS) Remove(name string) error {
+	name = cleanPath(name)
+	if err := f.check(OpRemove, name); err != nil {
+		return err
+	}
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.durable, name)
+	f.noteLocked(journalOp{op: OpRemove, path: name}, true)
+	f.mu.Unlock()
+	return nil
+}
+
+// Rename implements vfs.FS. Rename is atomic and a durability boundary; the
+// file's durable bytes move with its name.
+func (f *FS) Rename(oldName, newName string) error {
+	oldName, newName = cleanPath(oldName), cleanPath(newName)
+	if err := f.check(OpRename, oldName); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	_, tracked := f.durable[oldName]
+	f.mu.Unlock()
+	var base []byte
+	if !tracked {
+		base = f.snapshotInner(oldName)
+	}
+	if err := f.inner.Rename(oldName, newName); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if d, ok := f.durable[oldName]; ok {
+		base = d
+	}
+	delete(f.durable, oldName)
+	f.durable[newName] = base
+	f.noteLocked(journalOp{op: OpRename, path: oldName, to: newName}, true)
+	f.mu.Unlock()
+	return nil
+}
+
+// MkdirAll implements vfs.FS. Directory creation is durable immediately but
+// is not enumerated as a crash point (it carries no data).
+func (f *FS) MkdirAll(dir string) error {
+	dir = cleanPath(dir)
+	if err := f.check(OpMkdirAll, dir); err != nil {
+		return err
+	}
+	if err := f.inner.MkdirAll(dir); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.dirs[dir] = true
+	f.noteLocked(journalOp{op: OpMkdirAll, path: dir}, false)
+	f.mu.Unlock()
+	return nil
+}
+
+// List implements vfs.FS.
+func (f *FS) List(dir string) ([]string, error) {
+	dir = cleanPath(dir)
+	if err := f.check(OpList, dir); err != nil {
+		return nil, err
+	}
+	return f.inner.List(dir)
+}
+
+// Stat implements vfs.FS.
+func (f *FS) Stat(name string) (int64, error) {
+	name = cleanPath(name)
+	if err := f.check(OpStat, name); err != nil {
+		return 0, err
+	}
+	return f.inner.Stat(name)
+}
+
+// Exists implements vfs.FS. Like the PFS client's Exists it is a pure
+// probe: no faults are injected.
+func (f *FS) Exists(name string) bool {
+	return f.inner.Exists(cleanPath(name))
+}
+
+// Barrier implements the optional barrier hook (core.barrierFS) when the
+// inner filesystem has one, and on success marks every tracked file's
+// current content durable — a storage-level write barrier makes all
+// previously issued writes stable.
+func (f *FS) Barrier() error {
+	if err := f.check(OpBarrier, ""); err != nil {
+		return err
+	}
+	if b, ok := f.inner.(interface{ Barrier() error }); ok {
+		if err := b.Barrier(); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	paths := make([]string, 0, len(f.durable))
+	for p := range f.durable {
+		paths = append(paths, p)
+	}
+	f.mu.Unlock()
+	for _, p := range paths {
+		data := f.snapshotInner(p)
+		f.mu.Lock()
+		if _, ok := f.durable[p]; ok {
+			f.durable[p] = data
+		}
+		f.mu.Unlock()
+	}
+	f.mu.Lock()
+	f.noteLocked(journalOp{op: OpBarrier}, true)
+	f.mu.Unlock()
+	return nil
+}
+
+// Crash simulates losing the node: every byte not covered by a completed
+// Sync/Barrier is discarded from the inner filesystem, and every handle
+// opened through the wrapper is dead (operations return ErrCrashed). The
+// wrapper itself remains usable — reopening files afterwards models the
+// post-reboot recovery session.
+func (f *FS) Crash() error {
+	f.mu.Lock()
+	f.gen++
+	restore := make(map[string][]byte, len(f.durable))
+	for p, d := range f.durable {
+		restore[p] = d
+	}
+	f.mu.Unlock()
+	for p, data := range restore {
+		h, err := f.inner.Create(p)
+		if err != nil {
+			return fmt.Errorf("faultfs: crash restore %s: %w", p, err)
+		}
+		if len(data) > 0 {
+			if _, err := h.Write(data); err != nil {
+				h.Close()
+				return fmt.Errorf("faultfs: crash restore %s: %w", p, err)
+			}
+		}
+		if err := h.Close(); err != nil {
+			return fmt.Errorf("faultfs: crash restore %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// file wraps one open handle.
+type file struct {
+	fs    *FS
+	inner vfs.File
+	path  string
+	gen   int
+}
+
+func (fl *file) Name() string { return fl.path }
+
+// alive fails with ErrCrashed when the handle predates a Crash.
+func (fl *file) alive() error {
+	fl.fs.mu.Lock()
+	defer fl.fs.mu.Unlock()
+	if fl.gen != fl.fs.gen {
+		return fmt.Errorf("%s: %w", fl.path, ErrCrashed)
+	}
+	return nil
+}
+
+func (fl *file) Read(p []byte) (int, error) {
+	if err := fl.alive(); err != nil {
+		return 0, err
+	}
+	if err := fl.fs.check(OpRead, fl.path); err != nil {
+		return 0, err
+	}
+	return fl.inner.Read(p)
+}
+
+func (fl *file) ReadAt(p []byte, off int64) (int, error) {
+	if err := fl.alive(); err != nil {
+		return 0, err
+	}
+	if err := fl.fs.check(OpRead, fl.path); err != nil {
+		return 0, err
+	}
+	return fl.inner.ReadAt(p, off)
+}
+
+func (fl *file) Write(p []byte) (int, error) {
+	if err := fl.alive(); err != nil {
+		return 0, err
+	}
+	off, err := fl.inner.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	return fl.write(p, off, func(q []byte) (int, error) { return fl.inner.Write(q) })
+}
+
+func (fl *file) WriteAt(p []byte, off int64) (int, error) {
+	if err := fl.alive(); err != nil {
+		return 0, err
+	}
+	return fl.write(p, off, func(q []byte) (int, error) { return fl.inner.WriteAt(q, off) })
+}
+
+// write applies injection (including torn writes) around one inner write.
+func (fl *file) write(p []byte, off int64, inner func([]byte) (int, error)) (int, error) {
+	keep, ferr := fl.fs.checkWrite(fl.path)
+	if ferr != nil {
+		if keep > int64(len(p)) {
+			keep = int64(len(p))
+		}
+		n := 0
+		if keep > 0 {
+			n, _ = inner(p[:keep])
+			fl.fs.noteWrite(fl.path, off, p[:n])
+		}
+		return n, ferr
+	}
+	n, err := inner(p)
+	if n > 0 {
+		fl.fs.noteWrite(fl.path, off, p[:n])
+	}
+	return n, err
+}
+
+func (f *FS) noteWrite(p string, off int64, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.recording {
+		return
+	}
+	f.noteLocked(journalOp{op: OpWrite, path: p, off: off,
+		data: append([]byte(nil), data...)}, false)
+}
+
+func (fl *file) Seek(offset int64, whence int) (int64, error) {
+	if err := fl.alive(); err != nil {
+		return 0, err
+	}
+	return fl.inner.Seek(offset, whence)
+}
+
+func (fl *file) Size() (int64, error) {
+	if err := fl.alive(); err != nil {
+		return 0, err
+	}
+	return fl.inner.Size()
+}
+
+// Sync implements vfs.File: on success the file's current content becomes
+// its durable image — the only way (besides Barrier) file data survives a
+// Crash.
+func (fl *file) Sync() error {
+	if err := fl.alive(); err != nil {
+		return err
+	}
+	if err := fl.fs.check(OpSync, fl.path); err != nil {
+		return err
+	}
+	if err := fl.inner.Sync(); err != nil {
+		return err
+	}
+	data, err := vfs.ReadAll(fl.inner)
+	if err != nil {
+		return fmt.Errorf("faultfs: sync snapshot %s: %w", fl.path, err)
+	}
+	fl.fs.mu.Lock()
+	fl.fs.durable[fl.path] = data
+	fl.fs.noteLocked(journalOp{op: OpSync, path: fl.path}, true)
+	fl.fs.mu.Unlock()
+	return nil
+}
+
+func (fl *file) Truncate(size int64) error {
+	if err := fl.alive(); err != nil {
+		return err
+	}
+	if err := fl.fs.check(OpTruncate, fl.path); err != nil {
+		return err
+	}
+	if err := fl.inner.Truncate(size); err != nil {
+		return err
+	}
+	fl.fs.mu.Lock()
+	if f := fl.fs; f.recording {
+		f.noteLocked(journalOp{op: OpTruncate, path: fl.path, size: size}, false)
+	}
+	fl.fs.mu.Unlock()
+	return nil
+}
+
+func (fl *file) Close() error {
+	if err := fl.alive(); err != nil {
+		return err
+	}
+	if err := fl.fs.check(OpClose, fl.path); err != nil {
+		return err
+	}
+	return fl.inner.Close()
+}

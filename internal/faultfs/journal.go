@@ -1,0 +1,258 @@
+package faultfs
+
+import (
+	"fmt"
+	"sort"
+
+	"lsmio/internal/vfs"
+)
+
+// Crash-point enumeration (crashmonkey-style). With recording enabled the
+// wrapper journals every mutating operation together with the durability
+// boundary it belongs to. StateAfter(b) then reconstructs, in a fresh
+// MemFS, the exact durable image a crash immediately after boundary b
+// would leave behind: all journaled operations up to and including the
+// b-th boundary op are applied to a (current, durable) pair of file maps,
+// and only the durable side is materialized.
+//
+// A "durability boundary" is an operation after which strictly more state
+// is guaranteed on stable storage: Create, Remove, Rename (namespace ops,
+// atomic + durable on a journaled FS), Sync (one file's data), and Barrier
+// (all files' data). Plain writes and truncates are not boundaries — they
+// only change the volatile image.
+
+// journalOp is one recorded mutating operation.
+type journalOp struct {
+	op       Op
+	path     string // primary path (old name for rename)
+	to       string // rename target
+	off      int64  // write offset
+	data     []byte // write payload (post-injection, i.e. bytes that hit the inner FS)
+	size     int64  // truncate size
+	boundary int    // boundary counter *after* this op
+}
+
+// CrashPoint describes one enumerated durability boundary.
+type CrashPoint struct {
+	// Boundary is the 1-based boundary index (pass to StateAfter).
+	Boundary int
+	// Op is the operation that formed the boundary.
+	Op Op
+	// Path is the operation's primary path ("" for Barrier).
+	Path string
+}
+
+// noteLocked records op into the journal (when recording) and advances the
+// boundary counter when the op is a durability boundary. Callers hold f.mu.
+func (f *FS) noteLocked(op journalOp, isBoundary bool) {
+	if isBoundary {
+		f.boundaries++
+	}
+	if !f.recording {
+		return
+	}
+	op.boundary = f.boundaries
+	f.journal = append(f.journal, op)
+}
+
+// StartRecording snapshots the wrapper's current durable state as the
+// replay base, resets the boundary counter to zero, and begins journaling
+// every subsequent mutating operation. Recording continues until
+// StopRecording.
+func (f *FS) StartRecording() error {
+	base := make(map[string][]byte)
+	var dirs []string
+	if err := f.walkInner(".", base, &dirs); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	// Durable images override raw inner content: bytes present in the
+	// inner FS but never synced must not survive a simulated crash.
+	for p, d := range f.durable {
+		base[p] = append([]byte(nil), d...)
+	}
+	f.base = base
+	f.baseDirs = dirs
+	f.boundaries = 0
+	f.journal = nil
+	f.recording = true
+	f.mu.Unlock()
+	return nil
+}
+
+// StopRecording stops journaling. The journal is kept for enumeration.
+func (f *FS) StopRecording() {
+	f.mu.Lock()
+	f.recording = false
+	f.mu.Unlock()
+}
+
+// walkInner recursively snapshots the inner filesystem under dir into
+// files (path → content) and dirs.
+func (f *FS) walkInner(dir string, files map[string][]byte, dirs *[]string) error {
+	names, err := f.inner.List(dir)
+	if err != nil {
+		// A missing root simply means an empty base.
+		if dir == "." {
+			return nil
+		}
+		return fmt.Errorf("faultfs: snapshot %s: %w", dir, err)
+	}
+	if dir != "." {
+		*dirs = append(*dirs, dir)
+	}
+	for _, name := range names {
+		p := name
+		if dir != "." {
+			p = dir + "/" + name
+		}
+		if _, err := f.inner.Stat(p); err == nil {
+			files[p] = f.snapshotInner(p)
+			continue
+		}
+		if err := f.walkInner(p, files, dirs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrashPoints lists every durability boundary recorded since
+// StartRecording, in order.
+func (f *FS) CrashPoints() []CrashPoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var pts []CrashPoint
+	last := 0
+	for _, op := range f.journal {
+		if op.boundary > last {
+			last = op.boundary
+			pts = append(pts, CrashPoint{Boundary: op.boundary, Op: op.op, Path: op.path})
+		}
+	}
+	return pts
+}
+
+// StateAfter materializes the durable filesystem image as of a crash
+// immediately after boundary b (b = 0: before any recorded boundary) into
+// a fresh MemFS. The recorded workload is not disturbed; StateAfter may be
+// called repeatedly with different b.
+func (f *FS) StateAfter(b int) (*vfs.MemFS, error) {
+	f.mu.Lock()
+	if f.base == nil {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("faultfs: StateAfter without StartRecording")
+	}
+	cur := make(map[string][]byte, len(f.base))
+	dur := make(map[string][]byte, len(f.base))
+	for p, d := range f.base {
+		cur[p] = append([]byte(nil), d...)
+		dur[p] = append([]byte(nil), d...)
+	}
+	dirs := map[string]bool{}
+	for _, d := range f.baseDirs {
+		dirs[d] = true
+	}
+	journal := f.journal
+	f.mu.Unlock()
+
+	for _, op := range journal {
+		if op.boundary > b && isBoundaryOp(op.op) {
+			break
+		}
+		applyOp(cur, dur, dirs, op)
+	}
+
+	// Materialize the durable side.
+	out := vfs.NewMemFS()
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	for _, d := range sorted {
+		if err := out.MkdirAll(d); err != nil {
+			return nil, err
+		}
+	}
+	paths := make([]string, 0, len(dur))
+	for p := range dur {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		h, err := out.Create(p)
+		if err != nil {
+			return nil, fmt.Errorf("faultfs: materialize %s: %w", p, err)
+		}
+		if len(dur[p]) > 0 {
+			if _, err := h.Write(dur[p]); err != nil {
+				h.Close()
+				return nil, err
+			}
+		}
+		if err := h.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func isBoundaryOp(op Op) bool {
+	switch op {
+	case OpCreate, OpRemove, OpRename, OpSync, OpBarrier:
+		return true
+	}
+	return false
+}
+
+// applyOp replays one journal op onto the (current, durable) maps.
+func applyOp(cur, dur map[string][]byte, dirs map[string]bool, op journalOp) {
+	switch op.op {
+	case OpCreate:
+		cur[op.path] = []byte{}
+		dur[op.path] = []byte{}
+	case OpRemove:
+		delete(cur, op.path)
+		delete(dur, op.path)
+	case OpRename:
+		if d, ok := cur[op.path]; ok {
+			cur[op.to] = d
+		}
+		if d, ok := dur[op.path]; ok {
+			dur[op.to] = d
+		}
+		delete(cur, op.path)
+		delete(dur, op.path)
+	case OpMkdirAll:
+		dirs[op.path] = true
+	case OpWrite:
+		buf := cur[op.path]
+		end := op.off + int64(len(op.data))
+		if int64(len(buf)) < end {
+			nb := make([]byte, end)
+			copy(nb, buf)
+			buf = nb
+		}
+		copy(buf[op.off:], op.data)
+		cur[op.path] = buf
+	case OpTruncate:
+		buf := cur[op.path]
+		if int64(len(buf)) > op.size {
+			buf = buf[:op.size]
+		} else if int64(len(buf)) < op.size {
+			nb := make([]byte, op.size)
+			copy(nb, buf)
+			buf = nb
+		}
+		cur[op.path] = buf
+	case OpSync:
+		if d, ok := cur[op.path]; ok {
+			dur[op.path] = append([]byte(nil), d...)
+		}
+	case OpBarrier:
+		for p, d := range cur {
+			dur[p] = append([]byte(nil), d...)
+		}
+	}
+}

@@ -121,7 +121,7 @@ func Open(dir string, opts Options) (*DB, error) {
 func (db *DB) recover() error {
 	minLog, err := db.vs.recover()
 	if err != nil {
-		return err
+		return fmt.Errorf("lsm: recover manifest in %s: %w", db.dir, err)
 	}
 	names, err := db.fs.List(db.dir)
 	if err != nil {
@@ -143,7 +143,7 @@ func (db *DB) recover() error {
 	sort.Slice(logs, func(i, j int) bool { return logs[i] < logs[j] })
 	for _, num := range logs {
 		if err := db.replayLog(num); err != nil {
-			return err
+			return fmt.Errorf("lsm: replay %s: %w", logFileName(db.dir, num), err)
 		}
 	}
 	// Flush whatever the replay produced so old logs can be dropped.

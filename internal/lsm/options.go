@@ -66,9 +66,11 @@ type Options struct {
 	// DisableCompaction turns off background compaction (the paper
 	// disables compaction: checkpoints are write-once).
 	DisableCompaction bool
-	// Sync forces an fsync after every WAL write (when the WAL is on) and
-	// after every table flush. With Sync off, durability is deferred to
-	// WriteBarrier/Flush, matching the paper's asynchronous option.
+	// Sync forces an fsync after every WAL write (when the WAL is on).
+	// With Sync off, WAL durability is deferred to WriteBarrier/Flush,
+	// matching the paper's asynchronous option. SSTables are always synced
+	// before the manifest references them, regardless of this setting — a
+	// crash must never lose data the manifest claims to hold.
 	Sync bool
 	// AsyncFlush lets a full memtable be flushed by a background task
 	// while new writes proceed into a fresh memtable. With it off, the

@@ -166,3 +166,64 @@ func mustList(t *testing.T, fs vfs.FS, dir string) []string {
 	}
 	return names
 }
+
+func TestSalvageLogTruncatedTail(t *testing.T) {
+	// A crash mid-write leaves the WAL's final record cut inside its
+	// payload. salvageLog must keep every complete record and stop cleanly
+	// at the torn tail.
+	fs := vfs.NewMemFS()
+	fs.MkdirAll("db")
+	f, err := fs.Create(logFileName("db", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newWALWriter(f)
+	const complete = 5
+	for i := 0; i < complete; i++ {
+		b := NewBatch()
+		b.Put([]byte(fmt.Sprintf("key%02d", i)), bytes.Repeat([]byte{byte('a' + i)}, 100))
+		b.setSeq(seqNum(i + 1))
+		if err := w.addRecord(b.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more record, then cut mid-payload.
+	b := NewBatch()
+	b.Put([]byte("tail"), bytes.Repeat([]byte("z"), 300))
+	b.setSeq(seqNum(complete + 1))
+	if err := w.addRecord(b.data); err != nil {
+		t.Fatal(err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(size - 150); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	records, lastSeq := salvageLog(fs, "db", 7)
+	if records != complete {
+		t.Fatalf("salvaged %d records, want %d", records, complete)
+	}
+	if want := seqNum(complete + 1); lastSeq != want {
+		t.Fatalf("lastSeq = %d, want %d", lastSeq, want)
+	}
+
+	// The replay keeps exactly the complete records.
+	mem := newMemtable()
+	if err := salvageLogInto(fs, "db", 7, mem); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < complete; i++ {
+		k := []byte(fmt.Sprintf("key%02d", i))
+		v, found, deleted := mem.get(k, maxSeq)
+		if !found || deleted || len(v) != 100 {
+			t.Fatalf("%s missing after salvage: found=%v deleted=%v len=%d", k, found, deleted, len(v))
+		}
+	}
+	if _, found, _ := mem.get([]byte("tail"), maxSeq); found {
+		t.Fatal("torn record's key survived salvage")
+	}
+}

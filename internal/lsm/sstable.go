@@ -211,10 +211,12 @@ func (w *tableWriter) finish() (tableMeta, error) {
 	if w.err != nil {
 		return tableMeta{}, w.err
 	}
-	if w.opts.Sync {
-		if err := w.f.Sync(); err != nil {
-			return tableMeta{}, err
-		}
+	// Tables are always synced before they are returned, regardless of
+	// Options.Sync: the caller installs the table into the (synced) manifest
+	// immediately, and a manifest referencing a table whose bytes could
+	// still be lost to a crash would silently drop acknowledged data.
+	if err := w.f.Sync(); err != nil {
+		return tableMeta{}, err
 	}
 	w.meta.largest = append(internalKey(nil), w.lastIKey...)
 	w.meta.size = w.offset

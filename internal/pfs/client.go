@@ -137,16 +137,20 @@ func (f *ClientFS) Exists(name string) bool {
 
 // Barrier blocks the calling process until every write this client has
 // issued is on stable storage — the storage-level half of LSMIO's write
-// barrier. Unflushed write-back extents are pushed out first.
+// barrier. Unflushed write-back extents are pushed out first; a failed
+// push (injected OST fault surviving the retry budget) fails the barrier.
 func (f *ClientFS) Barrier() error {
+	var firstErr error
 	for pf := range f.open {
-		pf.flushWriteBack()
+		if err := pf.flushWriteBack(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	p := f.c.cur()
 	if wait := f.pending.Sub(p.Now()); wait > 0 {
 		p.Sleep(wait)
 	}
-	return nil
+	return firstErr
 }
 
 // NodeID returns the fabric endpoint this client is bound to.
@@ -176,24 +180,30 @@ type pfsFile struct {
 
 func (pf *pfsFile) Name() string { return pf.name }
 
-// flushWriteBack ships the pending coalesced extent, if any.
-func (pf *pfsFile) flushWriteBack() {
+// flushWriteBack ships the pending coalesced extent, if any. On failure
+// the extent is dropped from the cache (its RPC was refused) and the
+// error is surfaced to the caller.
+func (pf *pfsFile) flushWriteBack() error {
 	if pf.wbLen == 0 {
-		return
+		return nil
 	}
 	off, n := pf.wbOff, pf.wbLen
 	pf.wbLen = 0
-	pf.note(pf.fs.c.chargeWriteRPC(pf.fs.c.cur(), pf.fs.nodeID, pf.lay, off, n))
+	done, err := pf.fs.c.chargeWriteRPC(pf.fs.c.cur(), pf.fs.nodeID, pf.lay, off, n)
+	pf.note(done)
+	return err
 }
 
 // noteWrite folds n bytes at off into the write-back extent.
-func (pf *pfsFile) noteWrite(off, n int64) {
+func (pf *pfsFile) noteWrite(off, n int64) error {
 	c := pf.fs.c
 	c.chargeWriteCPU(c.cur(), n)
 	if pf.wbLen > 0 && off == pf.wbOff+pf.wbLen {
 		pf.wbLen += n
 	} else {
-		pf.flushWriteBack()
+		if err := pf.flushWriteBack(); err != nil {
+			return err
+		}
 		pf.wbOff, pf.wbLen = off, n
 	}
 	for pf.wbLen >= c.cfg.MaxRPCSize {
@@ -201,8 +211,13 @@ func (pf *pfsFile) noteWrite(off, n int64) {
 		off, n := pf.wbOff, take
 		pf.wbOff += take
 		pf.wbLen -= take
-		pf.note(c.chargeWriteRPC(c.cur(), pf.fs.nodeID, pf.lay, off, n))
+		done, err := c.chargeWriteRPC(c.cur(), pf.fs.nodeID, pf.lay, off, n)
+		pf.note(done)
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func (pf *pfsFile) Read(p []byte) (int, error) {
@@ -210,19 +225,27 @@ func (pf *pfsFile) Read(p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	pf.flushWriteBack()
+	if err := pf.flushWriteBack(); err != nil {
+		return 0, err
+	}
 	n, err := pf.inner.Read(p)
 	if n > 0 {
-		pf.chargeReadWithRA(off, int64(n))
+		if cerr := pf.chargeReadWithRA(off, int64(n)); cerr != nil {
+			return 0, cerr
+		}
 	}
 	return n, err
 }
 
 func (pf *pfsFile) ReadAt(p []byte, off int64) (int, error) {
-	pf.flushWriteBack()
+	if err := pf.flushWriteBack(); err != nil {
+		return 0, err
+	}
 	n, err := pf.inner.ReadAt(p, off)
 	if n > 0 {
-		pf.chargeReadWithRA(off, int64(n))
+		if cerr := pf.chargeReadWithRA(off, int64(n)); cerr != nil {
+			return 0, cerr
+		}
 	}
 	return n, err
 }
@@ -230,14 +253,14 @@ func (pf *pfsFile) ReadAt(p []byte, off int64) (int, error) {
 // chargeReadWithRA books a read, applying client read-ahead: sequential
 // access fetches a full read-ahead window per RPC, and hits inside the
 // cached window cost only the client-side copy.
-func (pf *pfsFile) chargeReadWithRA(off, n int64) {
+func (pf *pfsFile) chargeReadWithRA(off, n int64) error {
 	c := pf.fs.c
 	p := c.cur()
 	defer func() { pf.lastReadEnd = off + n }()
 	if off >= pf.raStart && off+n <= pf.raEnd && pf.raEnd > 0 {
 		// Client-cache hit: copy cost only.
 		p.Sleep(time.Duration(float64(n) / c.cfg.ClientStreamBW * 1e9))
-		return
+		return nil
 	}
 	fetch := n
 	if off == pf.lastReadEnd && c.cfg.ReadAhead > fetch {
@@ -251,8 +274,11 @@ func (pf *pfsFile) chargeReadWithRA(off, n int64) {
 			fetch = n
 		}
 	}
-	c.chargeRead(p, pf.fs.nodeID, pf.lay, off, fetch)
+	if err := c.chargeRead(p, pf.fs.nodeID, pf.lay, off, fetch); err != nil {
+		return err
+	}
 	pf.raStart, pf.raEnd = off, off+fetch
+	return nil
 }
 
 func (pf *pfsFile) Write(p []byte) (int, error) {
@@ -262,7 +288,9 @@ func (pf *pfsFile) Write(p []byte) (int, error) {
 	}
 	n, err := pf.inner.Write(p)
 	if n > 0 {
-		pf.noteWrite(off, int64(n))
+		if werr := pf.noteWrite(off, int64(n)); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	return n, err
 }
@@ -270,7 +298,9 @@ func (pf *pfsFile) Write(p []byte) (int, error) {
 func (pf *pfsFile) WriteAt(p []byte, off int64) (int, error) {
 	n, err := pf.inner.WriteAt(p, off)
 	if n > 0 {
-		pf.noteWrite(off, int64(n))
+		if werr := pf.noteWrite(off, int64(n)); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	return n, err
 }
@@ -293,7 +323,9 @@ func (pf *pfsFile) Size() (int64, error) { return pf.inner.Size() }
 
 // Sync blocks until this handle's writes reach stable storage.
 func (pf *pfsFile) Sync() error {
-	pf.flushWriteBack()
+	if err := pf.flushWriteBack(); err != nil {
+		return err
+	}
 	p := pf.fs.c.cur()
 	if wait := pf.pending.Sub(p.Now()); wait > 0 {
 		p.Sleep(wait)
@@ -304,7 +336,10 @@ func (pf *pfsFile) Sync() error {
 func (pf *pfsFile) Truncate(size int64) error { return pf.inner.Truncate(size) }
 
 func (pf *pfsFile) Close() error {
-	pf.flushWriteBack()
+	err := pf.flushWriteBack()
 	delete(pf.fs.open, pf)
-	return pf.inner.Close()
+	if cerr := pf.inner.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

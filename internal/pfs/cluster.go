@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -26,7 +27,47 @@ type Cluster struct {
 	nextFileID uint64
 	allocNext  int // MDS round-robin OST allocator
 
+	faultFn FaultFunc
+
 	stats Stats
+}
+
+// FaultFunc decides whether one OST RPC attempt fails. It is consulted
+// once per attempt (attempt 0 is the first try) and returns nil for
+// success or the error to deliver. Errors exposing a
+// `TransientFault() bool` method returning true (e.g. faultfs injected
+// errors) are retried with backoff up to Config.RetryMax; anything else is
+// surfaced immediately.
+type FaultFunc func(write bool, ostIdx int, attempt int) error
+
+// InjectFaults installs (or, with nil, removes) the cluster's RPC fault
+// hook. Tests use it to model failing or flaky OSTs.
+func (c *Cluster) InjectFaults(fn FaultFunc) { c.faultFn = fn }
+
+// transientFault reports whether err marks itself retryable.
+func transientFault(err error) bool {
+	var t interface{ TransientFault() bool }
+	return errors.As(err, &t) && t.TransientFault()
+}
+
+// retryBackoff computes the delay before retry number attempt+1:
+// exponential from RetryBaseDelay, capped at RetryMaxDelay, with a
+// deterministic jitter factor in [0.5, 1.5) derived from the attempt,
+// the OST, and the global retry count — no real-time randomness, so
+// simulations stay reproducible.
+func (c *Cluster) retryBackoff(attempt, ostIdx int) time.Duration {
+	d := c.cfg.RetryBaseDelay << uint(attempt)
+	if d > c.cfg.RetryMaxDelay || d <= 0 {
+		d = c.cfg.RetryMaxDelay
+	}
+	h := uint64(ostIdx+1)*0x9e3779b97f4a7c15 +
+		uint64(attempt+1)*0xbf58476d1ce4e5b9 +
+		uint64(c.stats.Retries)*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	frac := float64(h%1024) / 1024.0
+	return time.Duration(float64(d) * (0.5 + frac))
 }
 
 // layout is a file's stripe mapping, fixed at creation (Lustre semantics).
@@ -262,48 +303,82 @@ func (c *Cluster) chargeWriteCPU(p *sim.Proc, n int64) {
 // chargeWriteRPC ships a coalesced dirty extent: per-stripe-run RPC
 // overhead and network transfer synchronously, then asynchronous device
 // completion with dirty-lag backpressure. It returns the latest device
-// completion time.
-func (c *Cluster) chargeWriteRPC(p *sim.Proc, client int, l *layout, off, n int64) sim.Time {
+// completion time. Transient RPC faults (InjectFaults) are retried with
+// bounded exponential backoff on the virtual clock; permanent faults and
+// exhausted budgets surface as errors.
+func (c *Cluster) chargeWriteRPC(p *sim.Proc, client int, l *layout, off, n int64) (sim.Time, error) {
 	var latest sim.Time
 	for _, r := range l.stripeRuns(off, n) {
-		c.stats.WriteOps++
-		p.Sleep(c.cfg.ClientRPCOverhead)
-		// Wire to the OSS.
-		ossIdx := c.ossOf(r.ostIdx)
-		c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), r.n)
-		// OSS backend, then OST, asynchronously from the client.
-		ossDone := c.oss[ossIdx].serve(p.Now(),
-			time.Duration(float64(r.n)/c.cfg.OSSBandwidth*1e9))
-		done := c.ostService(c.osts[r.ostIdx], ossDone, client, l, r, true)
-		if done > latest {
-			latest = done
-		}
-		// Dirty-lag backpressure: stall until the device is close enough.
-		if lag := done.Sub(p.Now()); lag > c.cfg.MaxDirtyLag {
-			c.stats.ClientStalls++
-			p.Sleep(lag - c.cfg.MaxDirtyLag)
+		for attempt := 0; ; attempt++ {
+			c.stats.WriteOps++
+			p.Sleep(c.cfg.ClientRPCOverhead)
+			// Wire to the OSS.
+			ossIdx := c.ossOf(r.ostIdx)
+			c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), r.n)
+			if c.faultFn != nil {
+				if err := c.faultFn(true, r.ostIdx, attempt); err != nil {
+					c.stats.FaultsInjected++
+					if transientFault(err) && attempt < c.cfg.RetryMax {
+						c.stats.Retries++
+						p.Sleep(c.retryBackoff(attempt, r.ostIdx))
+						continue
+					}
+					return latest, fmt.Errorf("pfs: write to OST %d failed after %d attempt(s): %w",
+						r.ostIdx, attempt+1, err)
+				}
+			}
+			// OSS backend, then OST, asynchronously from the client.
+			ossDone := c.oss[ossIdx].serve(p.Now(),
+				time.Duration(float64(r.n)/c.cfg.OSSBandwidth*1e9))
+			done := c.ostService(c.osts[r.ostIdx], ossDone, client, l, r, true)
+			if done > latest {
+				latest = done
+			}
+			// Dirty-lag backpressure: stall until the device is close enough.
+			if lag := done.Sub(p.Now()); lag > c.cfg.MaxDirtyLag {
+				c.stats.ClientStalls++
+				p.Sleep(lag - c.cfg.MaxDirtyLag)
+			}
+			break
 		}
 	}
-	return latest
+	return latest, nil
 }
 
-// chargeRead books a synchronous client read.
-func (c *Cluster) chargeRead(p *sim.Proc, client int, l *layout, off, n int64) {
+// chargeRead books a synchronous client read, with the same transient
+// retry policy as writes.
+func (c *Cluster) chargeRead(p *sim.Proc, client int, l *layout, off, n int64) error {
 	c.stats.BytesRead += n
 	for _, r := range l.stripeRuns(off, n) {
-		c.stats.ReadOps++
-		p.Sleep(c.cfg.ClientRPCOverhead)
-		ossIdx := c.ossOf(r.ostIdx)
-		// Request travels to the OSS (small), data comes back.
-		c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), 128)
-		done := c.ostService(c.osts[r.ostIdx], p.Now(), client, l, r, false)
-		if wait := done.Sub(p.Now()); wait > 0 {
-			p.Sleep(wait)
+		for attempt := 0; ; attempt++ {
+			c.stats.ReadOps++
+			p.Sleep(c.cfg.ClientRPCOverhead)
+			ossIdx := c.ossOf(r.ostIdx)
+			// Request travels to the OSS (small), data comes back.
+			c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), 128)
+			if c.faultFn != nil {
+				if err := c.faultFn(false, r.ostIdx, attempt); err != nil {
+					c.stats.FaultsInjected++
+					if transientFault(err) && attempt < c.cfg.RetryMax {
+						c.stats.Retries++
+						p.Sleep(c.retryBackoff(attempt, r.ostIdx))
+						continue
+					}
+					return fmt.Errorf("pfs: read from OST %d failed after %d attempt(s): %w",
+						r.ostIdx, attempt+1, err)
+				}
+			}
+			done := c.ostService(c.osts[r.ostIdx], p.Now(), client, l, r, false)
+			if wait := done.Sub(p.Now()); wait > 0 {
+				p.Sleep(wait)
+			}
+			c.fabric.Transfer(p, c.ossNodeID(ossIdx), client, r.n)
+			// Client-side copy out of the reply.
+			p.Sleep(time.Duration(float64(r.n) / c.cfg.ClientStreamBW * 1e9))
+			break
 		}
-		c.fabric.Transfer(p, c.ossNodeID(ossIdx), client, r.n)
-		// Client-side copy out of the reply.
-		p.Sleep(time.Duration(float64(r.n) / c.cfg.ClientStreamBW * 1e9))
 	}
+	return nil
 }
 
 // OSTUtilization returns each OST's busy time as a fraction of elapsed

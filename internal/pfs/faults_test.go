@@ -1,0 +1,212 @@
+package pfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lsmio/internal/faultfs"
+	"lsmio/internal/sim"
+)
+
+// faultTestConfig is a small cluster with tight, known retry knobs.
+func faultTestConfig() Config {
+	return Config{
+		ComputeNodes:       1,
+		NumOSTs:            2,
+		NumOSSs:            1,
+		DefaultStripeCount: 1,
+		RetryMax:           3,
+		RetryBaseDelay:     time.Millisecond,
+		RetryMaxDelay:      8 * time.Millisecond,
+	}
+}
+
+func TestTransientWriteFaultIsRetried(t *testing.T) {
+	c := runOnCluster(t, faultTestConfig(), func(c *Cluster, fs *ClientFS) {
+		fails := 2
+		c.InjectFaults(func(write bool, ostIdx, attempt int) error {
+			if write && fails > 0 {
+				fails--
+				return &faultfs.InjectedError{Op: faultfs.OpWrite, Transient: true}
+			}
+			return nil
+		})
+		f, err := fs.Create("ckpt.dat")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if _, err := f.Write(make([]byte, 4096)); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := f.Sync(); err != nil {
+			t.Errorf("sync after transient faults: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	st := c.Stats()
+	if st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+	if st.FaultsInjected != 2 {
+		t.Fatalf("FaultsInjected = %d, want 2", st.FaultsInjected)
+	}
+}
+
+func TestPermanentWriteFaultSurfacesImmediately(t *testing.T) {
+	c := runOnCluster(t, faultTestConfig(), func(c *Cluster, fs *ClientFS) {
+		c.InjectFaults(func(write bool, ostIdx, attempt int) error {
+			if write {
+				return &faultfs.InjectedError{Op: faultfs.OpWrite, Transient: false}
+			}
+			return nil
+		})
+		f, err := fs.Create("ckpt.dat")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		f.Write(make([]byte, 4096))
+		err = f.Sync()
+		if err == nil {
+			t.Error("sync succeeded despite permanent OST fault")
+			return
+		}
+		if !errors.Is(err, faultfs.ErrInjected) {
+			t.Errorf("error does not unwrap to ErrInjected: %v", err)
+		}
+		if !strings.Contains(err.Error(), "after 1 attempt") {
+			t.Errorf("permanent fault was retried: %v", err)
+		}
+	})
+	if st := c.Stats(); st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 for permanent fault", st.Retries)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	cfg := faultTestConfig()
+	var elapsed time.Duration
+	c := runOnCluster(t, cfg, func(c *Cluster, fs *ClientFS) {
+		c.InjectFaults(func(write bool, ostIdx, attempt int) error {
+			if write {
+				return &faultfs.InjectedError{Op: faultfs.OpWrite, Transient: true}
+			}
+			return nil
+		})
+		f, err := fs.Create("ckpt.dat")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		f.Write(make([]byte, 4096))
+		p := c.Kernel().Current()
+		start := p.Now()
+		err = f.Sync()
+		elapsed = p.Now().Sub(start)
+		if err == nil {
+			t.Error("sync succeeded with every attempt faulting")
+			return
+		}
+		if !errors.Is(err, faultfs.ErrInjected) {
+			t.Errorf("error does not unwrap to ErrInjected: %v", err)
+		}
+		if !strings.Contains(err.Error(), "after 4 attempt") {
+			t.Errorf("want failure after RetryMax+1 = 4 attempts, got: %v", err)
+		}
+	})
+	st := c.Stats()
+	if st.Retries != int64(cfg.RetryMax) {
+		t.Fatalf("Retries = %d, want %d", st.Retries, cfg.RetryMax)
+	}
+	// Backoff is charged on the virtual clock: 3 retries with jitter ≥ 50%
+	// of 1ms, 2ms, 4ms → at least 3.5ms of virtual time must have passed.
+	if min := 3500 * time.Microsecond; elapsed < min {
+		t.Fatalf("virtual time across retries = %v, want ≥ %v", elapsed, min)
+	}
+}
+
+func TestTransientReadFaultIsRetried(t *testing.T) {
+	c := runOnCluster(t, faultTestConfig(), func(c *Cluster, fs *ClientFS) {
+		f, err := fs.Create("data")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		payload := []byte("hello, ost")
+		f.Write(payload)
+		if err := f.Sync(); err != nil {
+			t.Errorf("sync: %v", err)
+			return
+		}
+		fails := 1
+		c.InjectFaults(func(write bool, ostIdx, attempt int) error {
+			if !write && fails > 0 {
+				fails--
+				return &faultfs.InjectedError{Op: faultfs.OpRead, Transient: true}
+			}
+			return nil
+		})
+		buf := make([]byte, len(payload))
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Errorf("read after transient fault: %v", err)
+			return
+		}
+		if string(buf) != string(payload) {
+			t.Errorf("read %q, want %q", buf, payload)
+		}
+		f.Close()
+	})
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", st.Retries)
+	}
+}
+
+func TestBackoffIsDeterministic(t *testing.T) {
+	run := func() (time.Duration, error) {
+		k := sim.NewKernel()
+		c := NewCluster(k, faultTestConfig())
+		var elapsed time.Duration
+		var syncErr error
+		k.Spawn("client", func(p *sim.Proc) {
+			fs := c.Client(0)
+			fails := 3
+			c.InjectFaults(func(write bool, ostIdx, attempt int) error {
+				if write && fails > 0 {
+					fails--
+					return &faultfs.InjectedError{Op: faultfs.OpWrite, Transient: true}
+				}
+				return nil
+			})
+			f, err := fs.Create("x")
+			if err != nil {
+				syncErr = err
+				return
+			}
+			f.Write(make([]byte, 1024))
+			start := p.Now()
+			syncErr = f.Sync()
+			elapsed = p.Now().Sub(start)
+		})
+		if err := k.Run(); err != nil {
+			return 0, err
+		}
+		return elapsed, syncErr
+	}
+	e1, err1 := run()
+	e2, err2 := run()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs errored: %v / %v", err1, err2)
+	}
+	if e1 != e2 {
+		t.Fatalf("retry timing not deterministic: %v vs %v", e1, e2)
+	}
+	if e1 == 0 {
+		t.Fatal("no virtual time charged for retries")
+	}
+}

@@ -95,6 +95,17 @@ type Config struct {
 	NetLatency   time.Duration
 	NetBandwidth float64
 	NetMaxPacket int64
+
+	// RetryMax is how many times a failed OST RPC is retried when the
+	// failure is transient (injected via Cluster.InjectFaults). 0 uses the
+	// default (5); negative disables retries. Permanent failures are never
+	// retried.
+	RetryMax int
+	// RetryBaseDelay is the first retry's backoff; each further retry
+	// doubles it, capped at RetryMaxDelay. A deterministic jitter in
+	// [50%, 150%) is applied, charged on the virtual clock.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 }
 
 // VikingConfig models the University of York Viking system from the
@@ -200,6 +211,17 @@ func (c *Config) withDefaults() Config {
 	if out.ReadAhead <= 0 {
 		out.ReadAhead = 4 << 20
 	}
+	if out.RetryMax == 0 {
+		out.RetryMax = 5
+	} else if out.RetryMax < 0 {
+		out.RetryMax = 0
+	}
+	if out.RetryBaseDelay <= 0 {
+		out.RetryBaseDelay = 500 * time.Microsecond
+	}
+	if out.RetryMaxDelay <= 0 {
+		out.RetryMaxDelay = 50 * time.Millisecond
+	}
 	return out
 }
 
@@ -213,4 +235,8 @@ type Stats struct {
 	LockSwitches int64
 	MetadataOps  int64
 	ClientStalls int64
+	// Retries counts RPC attempts repeated after a transient fault;
+	// FaultsInjected counts every fault delivered by the InjectFaults hook.
+	Retries        int64
+	FaultsInjected int64
 }

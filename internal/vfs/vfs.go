@@ -10,6 +10,7 @@ package vfs
 
 import (
 	"errors"
+	"fmt"
 	"io"
 )
 
@@ -78,9 +79,15 @@ func ReadAll(f File) ([]byte, error) {
 	if size == 0 {
 		return buf, nil
 	}
-	_, err = f.ReadAt(buf, 0)
+	n, err := f.ReadAt(buf, 0)
 	if err == io.EOF {
 		err = nil
+	}
+	if err == nil && int64(n) < size {
+		// A short read with no error would hand the caller a buffer whose
+		// tail is silent zeros — treat it as the I/O failure it is.
+		return buf[:n], fmt.Errorf("vfs: short read of %s: %d of %d bytes: %w",
+			f.Name(), n, size, io.ErrUnexpectedEOF)
 	}
 	return buf, err
 }

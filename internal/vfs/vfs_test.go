@@ -267,3 +267,34 @@ func TestMemFSTotalBytes(t *testing.T) {
 		t.Fatalf("TotalBytes = %d", got)
 	}
 }
+
+// shortReadFile claims a larger size than ReadAt delivers, modeling a
+// file truncated between Stat and read (or a lying transport).
+type shortReadFile struct {
+	File
+	claim int64
+}
+
+func (s *shortReadFile) Size() (int64, error) { return s.claim, nil }
+
+func (s *shortReadFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := s.File.ReadAt(p, off)
+	if err == io.EOF {
+		err = nil
+	}
+	return n, err
+}
+
+func TestReadAllShortReadIsError(t *testing.T) {
+	fsys := NewMemFS()
+	f, _ := fsys.Create("f")
+	f.Write([]byte("only-8b!"))
+	got, err := ReadAll(&shortReadFile{File: f, claim: 64})
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want io.ErrUnexpectedEOF, got %v", err)
+	}
+	if string(got) != "only-8b!" {
+		t.Fatalf("partial buffer = %q", got)
+	}
+	f.Close()
+}
