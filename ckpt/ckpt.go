@@ -62,6 +62,9 @@ func New(mgr *core.Manager, opts Options) *Store {
 	return &Store{mgr: mgr, keep: opts.Keep, pfx: pfx}
 }
 
+// Manager exposes the underlying LSMIO manager.
+func (s *Store) Manager() *core.Manager { return s.mgr }
+
 type manifest struct {
 	Step int64      `json:"step"`
 	Vars []varEntry `json:"vars"`
@@ -295,6 +298,20 @@ func (s *Store) ReadAll(step int64) (map[string][]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// Size returns the total payload bytes of a committed checkpoint, as
+// recorded in its manifest (data only, not key or manifest overhead).
+func (s *Store) Size(step int64) (int64, error) {
+	m, err := s.loadManifest(step)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, v := range m.Vars {
+		total += v.Bytes
+	}
+	return total, nil
 }
 
 // Drop removes a committed checkpoint entirely.

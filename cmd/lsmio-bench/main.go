@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lsmio-bench [-fig all|1|5|6|7|8|9|10] [-scale paper|quick] [-csv dir] [-q]
+//	lsmio-bench [-fig all|1|5|6|7|8|9|10] [-scale paper|quick] [-csv dir] [-json dir] [-q]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	figFlag := flag.String("fig", "all", "figure to run: all, 1, 5, 6, 7, 8, 9, 10")
 	scaleFlag := flag.String("scale", "paper", "sweep scale: paper (1..48 nodes) or quick")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files")
+	jsonDir := flag.String("json", "", "directory to write per-figure BENCH_<fig>.json files")
 	quiet := flag.Bool("q", false, "suppress per-point progress lines")
 	flag.Parse()
 
@@ -97,6 +98,23 @@ func main() {
 			}
 			path := filepath.Join(*csvDir, fig.ID+".csv")
 			if err := os.WriteFile(path, []byte(fr.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			blob, err := fr.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+fig.ID+".json")
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -28,7 +28,7 @@ commands:
   del <key>           delete a key
   scan [prefix]       list keys (and printable values) in order
   rscan [prefix]      list keys in reverse order
-  stats               engine statistics and per-level table counts
+  stats               Manager counters and engine statistics
   compact             flush and fully compact the store
   verify              check every table's checksums and key ordering
   property <name>     print an engine property (lsmio.last-sequence, ...)
@@ -76,7 +76,35 @@ func main() {
 		}
 		return
 	}
-	// Open the engine directly so scan/compact/stats are available; the
+	// Stats goes through the Manager — the operator view matches what an
+	// application linked against the library would see: the Manager's
+	// session counters plus the engine's cumulative statistics.
+	if flag.Arg(0) == "stats" {
+		mgr, err := lsmio.NewManager("store", lsmio.ManagerOptions{
+			Store: lsmio.StoreOptions{FS: fs},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lsmioctl:", err)
+			os.Exit(1)
+		}
+		c := mgr.Counters()
+		fmt.Printf("manager: puts=%d gets=%d appends=%d dels=%d remoteOps=%d\n",
+			c.Puts, c.Gets, c.Appends, c.Dels, c.RemoteOps)
+		fmt.Printf("manager: bytesPut=%d bytesGot=%d barriers=%d barrierTime=%v\n",
+			c.BytesPut, c.BytesGot, c.Barriers, c.BarrierTime)
+		s := mgr.EngineStats()
+		fmt.Printf("engine:  puts=%d deletes=%d gets=%d\n", s.Puts, s.Deletes, s.Gets)
+		fmt.Printf("engine:  flushes=%d bytesFlushed=%d compactions=%d bytesCompacted=%d\n",
+			s.Flushes, s.BytesFlushed, s.Compactions, s.BytesCompacted)
+		fmt.Printf("engine:  walBytes=%d stalls=%d cache hits/misses=%d/%d\n",
+			s.WALBytes, s.StallWaits, s.CacheHits, s.CacheMisses)
+		if err := mgr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lsmioctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	// Open the engine directly so scan/compact are available; the
 	// store layout is exactly what the Manager produces.
 	db, err := lsmio.OpenDB("store", opts)
 	if err != nil {
@@ -147,19 +175,6 @@ func main() {
 			}
 		}
 		fmt.Printf("(%d keys)\n", n)
-	case "stats":
-		s := db.Stats()
-		fmt.Printf("puts=%d deletes=%d gets=%d\n", s.Puts, s.Deletes, s.Gets)
-		fmt.Printf("flushes=%d bytesFlushed=%d compactions=%d bytesCompacted=%d\n",
-			s.Flushes, s.BytesFlushed, s.Compactions, s.BytesCompacted)
-		fmt.Printf("walBytes=%d stalls=%d cache hits/misses=%d/%d\n",
-			s.WALBytes, s.StallWaits, s.CacheHits, s.CacheMisses)
-		files := db.NumTableFiles()
-		for l, n := range files {
-			if n > 0 {
-				fmt.Printf("L%d: %d table(s)\n", l, n)
-			}
-		}
 	case "compact":
 		if err := db.CompactAll(); err != nil {
 			die(err)

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -75,6 +76,11 @@ type Figure struct {
 	// pfs.VikingConfig). Extension experiments use it to ask what-if
 	// questions about differently built file systems (§5.1).
 	Cluster func(nodes int) pfs.Config
+	// Custom, when set, replaces the standard IOR sweep with a bespoke
+	// runner. The burst-staging experiment uses it to drive the ckpt
+	// layer directly (its series are stall/latency figures, not IOR
+	// bandwidths). Series.Make may be nil on such figures.
+	Custom func(f Figure, scale Scale, progress func(string)) (*FigureResult, error)
 }
 
 // Point is one measured bandwidth.
@@ -130,6 +136,9 @@ func collective(api ior.API) func(int64, int, Scale) ior.Params {
 // RunFigure sweeps one figure at the given scale. progress (optional)
 // receives one line per completed point.
 func RunFigure(f Figure, scale Scale, progress func(string)) (*FigureResult, error) {
+	if f.Custom != nil {
+		return f.Custom(f, scale, progress)
+	}
 	fr := &FigureResult{Figure: f}
 	stripes := f.StripeCounts
 	if len(stripes) == 0 {
@@ -294,6 +303,54 @@ func (fr *FigureResult) CSV() string {
 			fr.Figure.ID, p.Series, p.Transfer, p.StripeCount, p.Nodes, p.BW)
 	}
 	return b.String()
+}
+
+// JSON renders the figure's series and evaluated checks as an indented
+// machine-readable document (the BENCH_*.json format), so the perf
+// trajectory can be diffed across revisions.
+func (fr *FigureResult) JSON() ([]byte, error) {
+	type jsonPoint struct {
+		Series      string  `json:"series"`
+		Transfer    int64   `json:"transfer"`
+		StripeCount int     `json:"stripe_count"`
+		Nodes       int     `json:"nodes"`
+		BW          float64 `json:"bandwidth_bytes_per_sec"`
+	}
+	type jsonCheck struct {
+		Desc   string  `json:"desc"`
+		Got    float64 `json:"got"`
+		Min    float64 `json:"min"`
+		Max    float64 `json:"max,omitempty"`
+		Paper  float64 `json:"paper,omitempty"`
+		Passed bool    `json:"passed"`
+		Error  string  `json:"error,omitempty"`
+	}
+	doc := struct {
+		Figure string      `json:"figure"`
+		Title  string      `json:"title"`
+		Points []jsonPoint `json:"points"`
+		Checks []jsonCheck `json:"checks,omitempty"`
+	}{Figure: fr.Figure.ID, Title: fr.Figure.Title}
+	for _, p := range fr.Points {
+		doc.Points = append(doc.Points, jsonPoint{
+			Series:      p.Series,
+			Transfer:    p.Transfer,
+			StripeCount: p.StripeCount,
+			Nodes:       p.Nodes,
+			BW:          p.BW,
+		})
+	}
+	for _, o := range fr.Evaluate() {
+		jc := jsonCheck{
+			Desc: o.Desc, Got: o.Got, Min: o.Min, Max: o.Max,
+			Paper: o.Paper, Passed: o.Passed,
+		}
+		if o.Err != nil {
+			jc.Error = o.Err.Error()
+		}
+		doc.Checks = append(doc.Checks, jc)
+	}
+	return json.MarshalIndent(doc, "", "  ")
 }
 
 // CheckOutcome is one evaluated shape check.

@@ -1,0 +1,288 @@
+// Package burst is a write-back burst-buffer staging tier for
+// checkpoints (the paper's §5.1 "faster tier in front of LSMIO" future
+// work). Checkpoint writes land in a bounded staging store — an
+// in-memory filesystem or an NVMe-tier pfs.ClientFS — and Commit
+// returns as soon as the step is staged-consistent there. Background
+// drain workers then copy completed steps into the PFS-backed durable
+// store, preserving the ckpt commit contract on the slow tier: the
+// drained data's write barrier always precedes the durable manifest
+// install, so a crash mid-drain recovers to either the staged or the
+// durable image, never a mix.
+//
+//	tier := burst.New(stagingStore, durableStore, burst.Options{
+//		StagingBudget: 4 << 30,
+//		Kernel:        k, // nil outside the simulator
+//	})
+//	tier.StartWorker()
+//	c, _ := tier.Begin(step)
+//	c.Write("temperature", data)
+//	c.Commit()            // returns at staged-consistent
+//	...compute phase...
+//	tier.WaitDurable(step) // returns at durable-on-PFS
+//
+// Flow control: when the bytes staged but not yet drained exceed
+// Options.StagingBudget, Commit blocks until the drain catches up
+// (backpressure). A drain rate limit keeps background draining from
+// monopolizing the PFS against the next compute phase's own I/O.
+//
+// The tier runs in two concurrency modes. Inside the simulator
+// (Options.Kernel set) the drain worker is a daemon simulation process
+// and all interleaving is cooperative, so the in-memory state needs no
+// locking. Outside it the worker is a goroutine and a mutex/cond pair
+// guards the same state.
+package burst
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lsmio/ckpt"
+	"lsmio/internal/sim"
+)
+
+// Options configures a staging tier.
+type Options struct {
+	// StagingBudget bounds the bytes committed to the staging tier but
+	// not yet drained; Commit blocks while a new step would exceed it.
+	// Zero means unbounded (no backpressure).
+	StagingBudget int64
+	// DrainRate paces the background drain in bytes per second of
+	// wall-clock (or virtual) time, so draining does not contend with
+	// the application's next I/O phase. Zero means drain flat-out.
+	DrainRate float64
+	// Kernel must be set when the tier runs inside the simulator; the
+	// drain worker is then a simulation process and all waits park the
+	// calling process. Nil outside the simulator (goroutine worker).
+	Kernel *sim.Kernel
+}
+
+// Counters are the tier's cumulative performance counters.
+type Counters struct {
+	StagedSteps  int64 // steps acknowledged staged-consistent
+	StagedBytes  int64 // payload bytes of those steps
+	DrainedSteps int64 // steps copied to the durable store
+	DrainedBytes int64
+	DrainErrors  int64 // failed drain attempts (step left staged)
+	PendingSteps int64 // staged, not yet drained
+	PendingBytes int64
+	HighWater    int64         // max PendingBytes ever observed
+	StallTime    time.Duration // Commit time blocked on the staging budget
+	ThrottleTime time.Duration // drain time spent pacing to DrainRate
+	DrainLag     time.Duration // staged→durable latency of the last drain
+	MaxDrainLag  time.Duration
+}
+
+// stagedStep is one committed step queued for draining.
+type stagedStep struct {
+	step     int64
+	bytes    int64
+	stagedAt time.Duration
+}
+
+// Tier is a write-back staging tier between an application and a
+// durable checkpoint store.
+type Tier struct {
+	staging *ckpt.Store
+	durable *ckpt.Store
+	opts    Options
+	k       *sim.Kernel
+
+	// go-mode synchronization (unused under the simulator, where the
+	// cooperative kernel serializes all state access).
+	mu    sync.Mutex
+	cond  *sync.Cond
+	wgw   sync.WaitGroup
+	epoch time.Time
+
+	// sim-mode wait channel.
+	sig *sim.Signal
+
+	// Shared state; guarded by mu in go mode, by cooperative
+	// scheduling in sim mode.
+	queue    []stagedStep
+	pending  map[int64]bool // staged or draining, not yet finished
+	failed   map[int64]error
+	lastErr  error // sticky first drain error; disables backpressure
+	inFlight int   // steps popped from queue, drain not yet finished
+	workerOn bool
+	closed   bool
+
+	stagedSteps, stagedBytes   int64
+	drainedSteps, drainedBytes int64
+	drainErrors                int64
+	pendingBytes, highWater    int64
+	stallTime, throttleTime    time.Duration
+	drainLag, maxDrainLag      time.Duration
+}
+
+// New builds a staging tier draining from staging into durable. The
+// two stores must be distinct; durable retention (ckpt.Options.Keep)
+// applies on the durable store as steps arrive there.
+func New(staging, durable *ckpt.Store, opts Options) *Tier {
+	t := &Tier{
+		staging: staging,
+		durable: durable,
+		opts:    opts,
+		k:       opts.Kernel,
+		pending: make(map[int64]bool),
+		failed:  make(map[int64]error),
+		epoch:   time.Now(),
+	}
+	if t.k != nil {
+		t.sig = sim.NewSignal(t.k)
+	} else {
+		t.cond = sync.NewCond(&t.mu)
+	}
+	return t
+}
+
+// lock/unlock guard the tier's in-memory state. Under the simulator
+// they are no-ops: the cooperative kernel runs one process at a time,
+// and the critical sections below never park. Never call a manager or
+// store inside the critical section — store I/O parks the process.
+func (t *Tier) lock() {
+	if t.k == nil {
+		t.mu.Lock()
+	}
+}
+
+func (t *Tier) unlock() {
+	if t.k == nil {
+		t.mu.Unlock()
+	}
+}
+
+// wait parks the caller until the next wake; the lock is released
+// while parked, per sync.Cond semantics. Callers re-check their
+// condition in a loop.
+func (t *Tier) wait() {
+	if t.k == nil {
+		t.cond.Wait()
+		return
+	}
+	t.sig.Wait(t.k.Current())
+}
+
+func (t *Tier) wake() {
+	if t.k == nil {
+		t.cond.Broadcast()
+		return
+	}
+	t.sig.Broadcast()
+}
+
+// now is the tier's monotonic clock: virtual time inside the
+// simulator, wall time outside.
+func (t *Tier) now() time.Duration {
+	if t.k != nil {
+		return t.k.Now().Duration()
+	}
+	return time.Since(t.epoch)
+}
+
+// Counters returns a snapshot of the tier's counters.
+func (t *Tier) Counters() Counters {
+	t.lock()
+	defer t.unlock()
+	return Counters{
+		StagedSteps:  t.stagedSteps,
+		StagedBytes:  t.stagedBytes,
+		DrainedSteps: t.drainedSteps,
+		DrainedBytes: t.drainedBytes,
+		DrainErrors:  t.drainErrors,
+		PendingSteps: int64(len(t.queue) + t.inFlight),
+		PendingBytes: t.pendingBytes,
+		HighWater:    t.highWater,
+		StallTime:    t.stallTime,
+		ThrottleTime: t.throttleTime,
+		DrainLag:     t.drainLag,
+		MaxDrainLag:  t.maxDrainLag,
+	}
+}
+
+// Checkpoint is an in-progress staged checkpoint; Commit acknowledges
+// it staged-consistent and queues it for draining.
+type Checkpoint struct {
+	t     *Tier
+	inner *ckpt.Checkpoint
+	step  int64
+	bytes int64
+}
+
+// Begin starts checkpoint `step` in the staging tier. Steps must be
+// unique across the tier's lifetime, including steps already drained.
+func (t *Tier) Begin(step int64) (*Checkpoint, error) {
+	if _, err := t.durable.Manifest(step); err == nil {
+		return nil, fmt.Errorf("burst: step %d already durable", step)
+	}
+	inner, err := t.staging.Begin(step)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{t: t, inner: inner, step: step}, nil
+}
+
+// Write stores one named variable in the staged checkpoint.
+func (c *Checkpoint) Write(name string, data []byte) error {
+	if err := c.inner.Write(name, data); err != nil {
+		return err
+	}
+	c.bytes += int64(len(data))
+	return nil
+}
+
+// Abort discards the uncommitted staged checkpoint.
+func (c *Checkpoint) Abort() error { return c.inner.Abort() }
+
+// Commit blocks while the staging budget is exhausted (backpressure),
+// then makes the step staged-consistent (barrier + manifest on the
+// staging store) and queues it for draining. When Commit returns the
+// step survives a staging-tier-preserving restart, but is not yet
+// durable on the PFS — use WaitDurable or Sync for that.
+func (c *Checkpoint) Commit() error {
+	t := c.t
+	t.admit(c.bytes)
+	if err := c.inner.Commit(); err != nil {
+		return err
+	}
+	t.lock()
+	t.queue = append(t.queue, stagedStep{step: c.step, bytes: c.bytes, stagedAt: t.now()})
+	t.pending[c.step] = true
+	t.stagedSteps++
+	t.stagedBytes += c.bytes
+	t.pendingBytes += c.bytes
+	if t.pendingBytes > t.highWater {
+		t.highWater = t.pendingBytes
+	}
+	t.unlock()
+	t.wake()
+	return nil
+}
+
+// admit blocks until `bytes` fits inside the staging budget. A step
+// larger than the whole budget is admitted once the tier is empty
+// (otherwise it could never commit), and a sticky drain error disables
+// blocking so a broken drain surfaces at Sync instead of deadlocking
+// the application.
+func (t *Tier) admit(bytes int64) {
+	if t.opts.StagingBudget <= 0 {
+		return
+	}
+	start := t.now()
+	t.lock()
+	for t.pendingBytes > 0 && t.pendingBytes+bytes > t.opts.StagingBudget &&
+		t.lastErr == nil && !t.closed {
+		if !t.workerOn {
+			// No background worker: reclaim budget by draining the
+			// oldest step inline on the caller.
+			t.unlock()
+			t.DrainPending(1)
+			t.lock()
+			continue
+		}
+		t.wait()
+	}
+	t.stallTime += t.now() - start
+	t.unlock()
+}

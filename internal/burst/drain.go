@@ -1,0 +1,296 @@
+package burst
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"lsmio/ckpt"
+	"lsmio/internal/sim"
+)
+
+// StartWorker launches the background drain worker: a daemon
+// simulation process under the simulator, a goroutine outside it. At
+// most one worker runs per tier; extra calls are no-ops.
+func (t *Tier) StartWorker() {
+	t.lock()
+	if t.workerOn || t.closed {
+		t.unlock()
+		return
+	}
+	t.workerOn = true
+	t.unlock()
+	if t.k != nil {
+		t.k.Spawn("burst-drain", func(p *sim.Proc) {
+			t.runWorker(p.Sleep)
+		}).SetDaemon(true)
+		return
+	}
+	t.wgw.Add(1)
+	go func() {
+		defer t.wgw.Done()
+		t.runWorker(time.Sleep)
+	}()
+}
+
+// runWorker drains queued steps oldest-first until the tier closes,
+// pacing itself to Options.DrainRate between steps.
+func (t *Tier) runWorker(sleep func(time.Duration)) {
+	for {
+		t.lock()
+		for len(t.queue) == 0 && !t.closed {
+			t.wait()
+		}
+		if len(t.queue) == 0 && t.closed {
+			t.unlock()
+			return
+		}
+		item := t.queue[0]
+		t.queue = t.queue[1:]
+		t.inFlight++
+		t.unlock()
+
+		start := t.now()
+		err := t.drainStep(item)
+		if err == nil && t.opts.DrainRate > 0 {
+			// Rate limit: stretch this step's drain to at least
+			// bytes/DrainRate so the PFS keeps headroom for the
+			// application's own I/O.
+			target := time.Duration(float64(item.bytes) / t.opts.DrainRate * float64(time.Second))
+			if pause := target - (t.now() - start); pause > 0 {
+				sleep(pause)
+				t.lock()
+				t.throttleTime += pause
+				t.unlock()
+			}
+		}
+		t.finish(item, err)
+	}
+}
+
+// drainStep copies one staged step into the durable store and drops
+// the staged copy. The copy goes through the normal ckpt commit path,
+// so the durable data barrier precedes the durable manifest — the §6
+// contract holds on the slow tier exactly as for a direct commit. The
+// step is idempotent: if a previous attempt (or a pre-crash run)
+// already installed the step durably, only the staged copy is dropped.
+func (t *Tier) drainStep(item stagedStep) error {
+	vars, err := t.staging.ReadAll(item.step) // checksum-verified
+	if err != nil {
+		return err
+	}
+	if _, err := t.durable.Manifest(item.step); err == nil {
+		return t.staging.Drop(item.step)
+	}
+	w, err := t.durable.Begin(item.step)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := w.Write(name, vars[name]); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.Commit(); err != nil {
+		return err
+	}
+	return t.staging.Drop(item.step)
+}
+
+// finish records a drain attempt's outcome and releases the step's
+// budget. A failed step stays in the staging store for inspection but
+// leaves the queue; the first failure is sticky in lastErr (surfaced
+// by Sync) and disables backpressure blocking.
+func (t *Tier) finish(item stagedStep, err error) {
+	t.lock()
+	t.inFlight--
+	delete(t.pending, item.step)
+	t.pendingBytes -= item.bytes
+	if err != nil {
+		t.failed[item.step] = err
+		if t.lastErr == nil {
+			t.lastErr = err
+		}
+		t.drainErrors++
+	} else {
+		t.drainedSteps++
+		t.drainedBytes += item.bytes
+		t.drainLag = t.now() - item.stagedAt
+		if t.drainLag > t.maxDrainLag {
+			t.maxDrainLag = t.drainLag
+		}
+	}
+	t.unlock()
+	t.wake()
+}
+
+// DrainPending drains up to max queued steps inline on the caller
+// (all of them when max < 0), returning the number drained and the
+// first error. It is the deterministic no-worker drain path; with a
+// worker running it simply competes for queued steps.
+func (t *Tier) DrainPending(max int) (int, error) {
+	n := 0
+	var firstErr error
+	for max < 0 || n < max {
+		t.lock()
+		if len(t.queue) == 0 {
+			t.unlock()
+			break
+		}
+		item := t.queue[0]
+		t.queue = t.queue[1:]
+		t.inFlight++
+		t.unlock()
+		err := t.drainStep(item)
+		t.finish(item, err)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		n++
+	}
+	return n, firstErr
+}
+
+// WaitDurable blocks until the given committed step has drained to the
+// durable store, returning its drain error if the drain failed. With
+// no worker running the caller drains inline. Steps never staged (or
+// drained long ago) return immediately.
+func (t *Tier) WaitDurable(step int64) error {
+	t.lock()
+	for t.pending[step] {
+		if !t.workerOn {
+			t.unlock()
+			t.DrainPending(1)
+			t.lock()
+			continue
+		}
+		t.wait()
+	}
+	err := t.failed[step]
+	t.unlock()
+	return err
+}
+
+// Sync blocks until every committed step has drained, returning the
+// sticky first drain error, if any.
+func (t *Tier) Sync() error {
+	t.lock()
+	for len(t.queue) > 0 || t.inFlight > 0 {
+		if !t.workerOn && len(t.queue) > 0 {
+			t.unlock()
+			t.DrainPending(-1)
+			t.lock()
+			continue
+		}
+		t.wait()
+	}
+	err := t.lastErr
+	t.unlock()
+	return err
+}
+
+// Close drains everything still queued, stops the worker and returns
+// the sticky drain error. The underlying stores' managers remain open
+// (the tier does not own them).
+func (t *Tier) Close() error {
+	err := t.Sync()
+	t.lock()
+	t.closed = true
+	t.unlock()
+	t.wake()
+	if t.k == nil {
+		t.wgw.Wait()
+	}
+	return err
+}
+
+// Recover rebuilds the drain queue after a restart. Staged steps that
+// already made it to the durable store are dropped from staging;
+// staged steps that verify clean are re-queued for draining; corrupt
+// or incomplete staged steps (a crash mid-stage) are quarantined so
+// RestoreLatest falls back past them.
+func (t *Tier) Recover() error {
+	steps, err := t.staging.Steps()
+	if err != nil {
+		return err
+	}
+	requeued := false
+	for _, step := range steps {
+		if _, err := t.durable.Manifest(step); err == nil {
+			if err := t.staging.Drop(step); err != nil {
+				return err
+			}
+			continue
+		}
+		if verr := t.staging.Verify(step); verr != nil {
+			if errors.Is(verr, ckpt.ErrCorrupt) || errors.Is(verr, ckpt.ErrIncomplete) {
+				if qerr := t.staging.Quarantine(step, verr.Error()); qerr != nil {
+					return qerr
+				}
+				continue
+			}
+			return verr
+		}
+		size, err := t.staging.Size(step)
+		if err != nil {
+			return err
+		}
+		t.lock()
+		if !t.pending[step] {
+			t.queue = append(t.queue, stagedStep{step: step, bytes: size, stagedAt: t.now()})
+			t.pending[step] = true
+			t.pendingBytes += size
+			if t.pendingBytes > t.highWater {
+				t.highWater = t.pendingBytes
+			}
+			requeued = true
+		}
+		t.unlock()
+	}
+	if requeued {
+		t.wake()
+	}
+	return nil
+}
+
+// RestoreLatest restores the newest usable checkpoint across both
+// tiers — the staged image when it is newer than anything durable,
+// the durable image otherwise. The restored image always comes wholly
+// from one tier, never a mix of a partially-drained step.
+func (t *Tier) RestoreLatest() (int64, map[string][]byte, error) {
+	sStep, sVars, sErr := t.staging.RestoreLatest()
+	if sErr != nil && !errors.Is(sErr, ckpt.ErrNoCheckpoint) {
+		return 0, nil, sErr
+	}
+	dStep, dVars, dErr := t.durable.RestoreLatest()
+	if dErr != nil && !errors.Is(dErr, ckpt.ErrNoCheckpoint) {
+		return 0, nil, dErr
+	}
+	switch {
+	case sErr == nil && (dErr != nil || sStep >= dStep):
+		return sStep, sVars, nil
+	case dErr == nil:
+		return dStep, dVars, nil
+	default:
+		return 0, nil, ckpt.ErrNoCheckpoint
+	}
+}
+
+// twoPhase adapts the tier to the ckpt.TwoPhase interface.
+type twoPhase struct{ t *Tier }
+
+// TwoPhase exposes the tier through the ckpt two-phase durability API.
+func (t *Tier) TwoPhase() ckpt.TwoPhase { return twoPhase{t} }
+
+func (a twoPhase) Begin(step int64) (ckpt.Writer, error) { return a.t.Begin(step) }
+func (a twoPhase) WaitDurable(step int64) error          { return a.t.WaitDurable(step) }
+func (a twoPhase) Sync() error                           { return a.t.Sync() }
+func (a twoPhase) RestoreLatest() (int64, map[string][]byte, error) {
+	return a.t.RestoreLatest()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lsmio/internal/lsm"
@@ -55,6 +56,36 @@ type Counters struct {
 	RemoteOps   int64 // operations forwarded to a collective leader
 }
 
+// atomicCounters is the manager's live counter state. The fields are
+// atomics so a background drain worker (internal/burst) and the
+// application can share one Manager without a data race; Counters()
+// materializes a plain snapshot.
+type atomicCounters struct {
+	puts          atomic.Int64
+	gets          atomic.Int64
+	appends       atomic.Int64
+	dels          atomic.Int64
+	barriers      atomic.Int64
+	bytesPut      atomic.Int64
+	bytesGot      atomic.Int64
+	barrierTimeNs atomic.Int64
+	remoteOps     atomic.Int64
+}
+
+func (c *atomicCounters) snapshot() Counters {
+	return Counters{
+		Puts:        c.puts.Load(),
+		Gets:        c.gets.Load(),
+		Appends:     c.appends.Load(),
+		Dels:        c.dels.Load(),
+		Barriers:    c.barriers.Load(),
+		BytesPut:    c.bytesPut.Load(),
+		BytesGot:    c.bytesGot.Load(),
+		BarrierTime: time.Duration(c.barrierTimeNs.Load()),
+		RemoteOps:   c.remoteOps.Load(),
+	}
+}
+
 // ManagerOptions configures a Manager.
 type ManagerOptions struct {
 	// Store configures the local store (ignored when Remote is set).
@@ -80,7 +111,7 @@ type Manager struct {
 	cost     CostProfile
 	mpi      *mpisim.Rank
 	remote   bool
-	counters Counters
+	counters atomicCounters
 }
 
 // NewManager opens a manager over a local store in dir (or over the
@@ -108,8 +139,8 @@ func NewManager(dir string, opts ManagerOptions) (*Manager, error) {
 func (m *Manager) Get(key string) ([]byte, error) {
 	v, err := m.store.Get(key)
 	if err == nil {
-		m.counters.Gets++
-		m.counters.BytesGot += int64(len(v))
+		m.counters.gets.Add(1)
+		m.counters.bytesGot.Add(int64(len(v)))
 		m.kern.Compute(m.cost.getCost(len(v)))
 	}
 	return v, err
@@ -121,8 +152,8 @@ func (m *Manager) Get(key string) ([]byte, error) {
 // cost is a fraction of a point get's (no per-key index descent).
 func (m *Manager) ReadBatch(prefix string, fn func(key string, value []byte) bool) error {
 	return m.store.Scan(prefix, func(key string, value []byte) bool {
-		m.counters.Gets++
-		m.counters.BytesGot += int64(len(value))
+		m.counters.gets.Add(1)
+		m.counters.bytesGot.Add(int64(len(value)))
 		m.kern.Compute(time.Duration(m.cost.GetPerByte * float64(len(value)) / 2))
 		return fn(key, value)
 	})
@@ -157,10 +188,10 @@ func (m *Manager) putInternal(key string, value []byte, sync bool) error {
 	if err := m.store.Put(key, value, sync); err != nil {
 		return err
 	}
-	m.counters.Puts++
-	m.counters.BytesPut += int64(len(value))
+	m.counters.puts.Add(1)
+	m.counters.bytesPut.Add(int64(len(value)))
 	if m.remote {
-		m.counters.RemoteOps++
+		m.counters.remoteOps.Add(1)
 	}
 	return nil
 }
@@ -171,8 +202,8 @@ func (m *Manager) Append(key string, value []byte) error {
 	if err := m.store.Append(key, value, false); err != nil {
 		return err
 	}
-	m.counters.Appends++
-	m.counters.BytesPut += int64(len(value))
+	m.counters.appends.Add(1)
+	m.counters.bytesPut.Add(int64(len(value)))
 	return nil
 }
 
@@ -181,7 +212,7 @@ func (m *Manager) Del(key string) error {
 	if err := m.store.Del(key); err != nil {
 		return err
 	}
-	m.counters.Dels++
+	m.counters.dels.Add(1)
 	return nil
 }
 
@@ -241,8 +272,8 @@ func (m *Manager) WriteBarrier() error {
 	if m.mpi != nil {
 		m.mpi.Barrier()
 	}
-	m.counters.Barriers++
-	m.counters.BarrierTime += m.now().Sub(start)
+	m.counters.barriers.Add(1)
+	m.counters.barrierTimeNs.Add(int64(m.now().Sub(start)))
 	return nil
 }
 
@@ -254,7 +285,7 @@ func (m *Manager) now() sim.Time {
 }
 
 // Counters returns a snapshot of the performance counters.
-func (m *Manager) Counters() Counters { return m.counters }
+func (m *Manager) Counters() Counters { return m.counters.snapshot() }
 
 // EngineStats exposes the LSM engine's counters.
 func (m *Manager) EngineStats() lsm.Stats { return m.store.EngineStats() }

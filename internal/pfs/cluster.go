@@ -172,6 +172,11 @@ func (c *Cluster) Config() Config { return c.cfg }
 // Stats returns cumulative storage statistics.
 func (c *Cluster) Stats() Stats { return c.stats }
 
+// ResetStats zeroes the cumulative statistics, starting a fresh
+// accounting window (e.g. to isolate the retries a single drain incurs
+// from those of the workload that staged the data).
+func (c *Cluster) ResetStats() { c.stats = Stats{} }
+
 // Store exposes the backing in-memory store (tests use it to verify data).
 func (c *Cluster) Store() *vfs.MemFS { return c.store }
 
