@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"lsmio/internal/core"
+	"lsmio/internal/lsm"
 )
 
 // ErrNoCheckpoint reports that no committed checkpoint exists.
@@ -263,12 +264,23 @@ func (s *Store) Read(step int64, name string) ([]byte, error) {
 	return nil, fmt.Errorf("ckpt: step %d has no variable %q", step, name)
 }
 
+// classifyCorrupt rewrites engine-level corruption under a step's keys
+// (damaged SSTable blocks) as ErrCorrupt, so verification, scrubbing and
+// restore fallback treat it like a failed payload checksum — quarantine
+// the step and move on — instead of a fatal store error.
+func classifyCorrupt(step int64, err error) error {
+	if err != nil && errors.Is(err, lsm.ErrCorruption) {
+		return fmt.Errorf("%w: step %d: %v", ErrCorrupt, step, err)
+	}
+	return err
+}
+
 // ReadAll restores a whole checkpoint with one sequential batch read (the
 // §5.1 read path), verifying every checksum.
 func (s *Store) ReadAll(step int64) (map[string][]byte, error) {
 	m, err := s.loadManifest(step)
 	if err != nil {
-		return nil, err
+		return nil, classifyCorrupt(step, err)
 	}
 	want := make(map[string]varEntry, len(m.Vars))
 	for _, v := range m.Vars {
@@ -284,7 +296,7 @@ func (s *Store) ReadAll(step int64) (map[string][]byte, error) {
 		return true
 	})
 	if err != nil {
-		return nil, err
+		return nil, classifyCorrupt(step, err)
 	}
 	for name, v := range want {
 		data, ok := out[name]

@@ -88,6 +88,63 @@ func (s *Store) LatestVerified() (int64, error) {
 	return 0, ErrNoCheckpoint
 }
 
+// ScrubReport summarizes one Scrub pass over a checkpoint store.
+type ScrubReport struct {
+	// Steps is how many committed steps were examined.
+	Steps int
+	// Verified counts healthy steps (passed end-to-end verification and
+	// were not quarantined).
+	Verified int
+	// Repaired counts previously-quarantined steps that now verify —
+	// e.g. after a storage-level rebuild — and were unquarantined.
+	Repaired int
+	// Unrecoverable counts steps that fail verification; newly-damaged
+	// ones are quarantined with the failure as the reason.
+	Unrecoverable int
+}
+
+// Scrub runs one verification pass over every committed step: healthy
+// steps are counted, newly-damaged steps are quarantined (so restore
+// skips them without paying re-verification), and quarantined steps that
+// verify again — typically because the storage layer rebuilt their
+// stripes — are unquarantined. The `lsmioctl scrub` subcommand is a thin
+// wrapper around this.
+func (s *Store) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	steps, err := s.Steps()
+	if err != nil {
+		return rep, err
+	}
+	quarantined, err := s.Quarantined()
+	if err != nil {
+		return rep, err
+	}
+	for _, step := range steps {
+		rep.Steps++
+		_, wasQuarantined := quarantined[step]
+		verr := s.Verify(step)
+		switch {
+		case verr == nil && wasQuarantined:
+			if err := s.Unquarantine(step); err != nil {
+				return rep, err
+			}
+			rep.Repaired++
+		case verr == nil:
+			rep.Verified++
+		case errors.Is(verr, ErrCorrupt) || errors.Is(verr, ErrIncomplete):
+			rep.Unrecoverable++
+			if !wasQuarantined {
+				if err := s.Quarantine(step, verr.Error()); err != nil {
+					return rep, err
+				}
+			}
+		default:
+			return rep, verr
+		}
+	}
+	return rep, nil
+}
+
 // RestoreLatest restores the newest fully-verified checkpoint. Steps that
 // fail verification (corrupt or incomplete) are quarantined with the
 // failure as the reason, and the search falls back to the next-newest

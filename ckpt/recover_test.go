@@ -3,8 +3,12 @@ package ckpt
 import (
 	"bytes"
 	"errors"
+	"math/rand"
 	"strings"
 	"testing"
+
+	"lsmio/internal/core"
+	"lsmio/internal/vfs"
 )
 
 // commitStep writes a single-variable checkpoint and commits it.
@@ -166,5 +170,101 @@ func TestLatestVerified(t *testing.T) {
 	// LatestVerified does not quarantine.
 	if q, _ := s.Quarantined(); len(q) != 0 {
 		t.Fatalf("LatestVerified must not quarantine: %v", q)
+	}
+}
+
+// TestScrubQuarantinesEngineCorruption damages SSTable bytes underneath a
+// committed step — disk damage the ckpt payload checksums never get to
+// see because the engine's block checksum fails first. The scrubber must
+// classify that engine error as per-step corruption (quarantine the step,
+// keep scrubbing, restore falls back) rather than abort the whole pass.
+func TestScrubQuarantinesEngineCorruption(t *testing.T) {
+	fs := vfs.NewMemFS()
+	open := func() (*Store, *core.Manager) {
+		mgr, err := core.NewManager("app", core.ManagerOptions{
+			Store: core.StoreOptions{FS: fs, WriteBufferSize: 32 << 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return New(mgr, Options{}), mgr
+	}
+	s, mgr := open()
+
+	// Incompressible payloads: their bytes survive block compression
+	// near-literally, so step 2's data can be located inside an SSTable.
+	rng := rand.New(rand.NewSource(7))
+	good := make([]byte, 48<<10)
+	rng.Read(good)
+	bad := make([]byte, 48<<10)
+	rng.Read(bad)
+	commitStep(t, s, 1, good)
+	commitStep(t, s, 2, bad)
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	marker := bad[1024:1088]
+	names, err := fs.List("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".sst") {
+			continue
+		}
+		f, err := fs.Open("app/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := fs.Stat("app/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob := make([]byte, size)
+		if _, err := f.ReadAt(blob, 0); err != nil {
+			t.Fatal(err)
+		}
+		if i := bytes.Index(blob, marker); i >= 0 {
+			flipped := make([]byte, 16)
+			for j := range flipped {
+				flipped[j] = ^blob[i+j]
+			}
+			if _, err := f.WriteAt(flipped, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = true
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !corrupted {
+		t.Fatal("step 2 payload not found in any SSTable")
+	}
+
+	s, mgr = open()
+	defer mgr.Close()
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatalf("scrub aborted on engine corruption: %v", err)
+	}
+	if rep.Steps != 2 || rep.Verified != 1 || rep.Unrecoverable != 1 {
+		t.Fatalf("scrub report = %+v, want 2 steps / 1 verified / 1 unrecoverable", rep)
+	}
+	q, err := s.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q[2]; !ok {
+		t.Fatalf("step 2 not quarantined: %v", q)
+	}
+	step, state, err := s.RestoreLatest()
+	if err != nil {
+		t.Fatalf("restore after quarantine: %v", err)
+	}
+	if step != 1 || !bytes.Equal(state["state"], good) {
+		t.Fatalf("restored step %d, want fallback to intact step 1", step)
 	}
 }

@@ -1,0 +1,154 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Direct must satisfy TwoPhase with the degenerate phase split: commit
+// and durability coincide. These tests pin down the adapter's edges.
+
+func TestDirectWaitDurableUnknownStep(t *testing.T) {
+	s, mgr := newStore(t, 0)
+	defer mgr.Close()
+	tp := Direct{s}
+
+	// A step never begun, an aborted step, and a committed step are all
+	// "durable" to a direct store — WaitDurable must never block or error.
+	if err := tp.WaitDurable(42); err != nil {
+		t.Fatalf("WaitDurable(unknown) = %v, want nil", err)
+	}
+	w, err := tp.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write("state", []byte("x"))
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.WaitDurable(1); err != nil {
+		t.Fatalf("WaitDurable(committed) = %v, want nil", err)
+	}
+	if err := tp.WaitDurable(-7); err != nil {
+		t.Fatalf("WaitDurable(negative) = %v, want nil", err)
+	}
+}
+
+func TestDirectSyncAfterPartialBegin(t *testing.T) {
+	s, mgr := newStore(t, 0)
+	defer mgr.Close()
+	tp := Direct{s}
+
+	// An open, uncommitted step must not be published by Sync: Sync is a
+	// no-op for the direct adapter and the step stays invisible.
+	w, err := tp.Begin(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("half", []byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Sync(); err != nil {
+		t.Fatalf("Sync with open step = %v, want nil", err)
+	}
+	if _, err := s.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("uncommitted step visible after Sync: Latest = %v", err)
+	}
+	if err := w.Abort(); err != nil {
+		t.Fatalf("abort after Sync: %v", err)
+	}
+	if err := tp.Sync(); err != nil {
+		t.Fatalf("Sync after abort = %v", err)
+	}
+	// The step number is reusable after the abort.
+	w2, err := tp.Begin(5)
+	if err != nil {
+		t.Fatalf("Begin after abort: %v", err)
+	}
+	w2.Write("full", []byte("complete"))
+	if err := w2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	step, state, err := tp.RestoreLatest()
+	if err != nil || step != 5 {
+		t.Fatalf("restore = %d, %v", step, err)
+	}
+	if !bytes.Equal(state["full"], []byte("complete")) {
+		t.Fatal("restored wrong payload")
+	}
+	if _, ok := state["half"]; ok {
+		t.Fatal("aborted variable leaked into the committed step")
+	}
+}
+
+func TestDirectRestoreLatestEmptyStore(t *testing.T) {
+	s, mgr := newStore(t, 0)
+	defer mgr.Close()
+	tp := Direct{s}
+
+	if _, _, err := tp.RestoreLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("RestoreLatest on empty store = %v, want ErrNoCheckpoint", err)
+	}
+	// Still empty after a Begin+Abort cycle.
+	w, _ := tp.Begin(1)
+	w.Write("v", []byte("x"))
+	w.Abort()
+	if _, _, err := tp.RestoreLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("RestoreLatest after abort = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestScrubQuarantinesAndRepairs(t *testing.T) {
+	s, mgr := newStore(t, 0)
+	defer mgr.Close()
+
+	good := []byte("good state")
+	for step := int64(1); step <= 3; step++ {
+		w, _ := s.Begin(step)
+		w.Write("state", good)
+		if err := w.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Step 2 is silently damaged.
+	if err := mgr.Put(s.dataKey(2, "state"), []byte("garbage!!")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 3 || rep.Verified != 2 || rep.Unrecoverable != 1 || rep.Repaired != 0 {
+		t.Fatalf("scrub report = %+v, want 3 steps / 2 verified / 1 unrecoverable", rep)
+	}
+	q, _ := s.Quarantined()
+	if _, bad := q[2]; !bad {
+		t.Fatal("scrub did not quarantine the damaged step")
+	}
+	// A second pass is stable: the damaged step is already quarantined.
+	rep, err = s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unrecoverable != 1 || rep.Repaired != 0 {
+		t.Fatalf("second scrub report = %+v", rep)
+	}
+	// The storage layer "repairs" the step; scrub lifts the quarantine.
+	if err := mgr.Put(s.dataKey(2, "state"), good); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 1 || rep.Unrecoverable != 0 || rep.Verified != 2 {
+		t.Fatalf("post-repair scrub report = %+v, want 1 repaired", rep)
+	}
+	if q, _ := s.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantine not lifted: %v", q)
+	}
+	if _, _, err := s.RestoreLatest(); err != nil {
+		t.Fatalf("restore after scrub: %v", err)
+	}
+}

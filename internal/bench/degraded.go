@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"lsmio/ckpt"
+	"lsmio/internal/core"
+	"lsmio/internal/lsm"
+	"lsmio/internal/pfs"
+	"lsmio/internal/resil"
+	"lsmio/internal/sim"
+)
+
+// The ext-degraded experiment measures the checkpoint write path when
+// the PFS itself degrades — the failure modes the resilience layer
+// (parity striping, hedged writes, the per-OST breaker) exists for.
+// Every rank checkpoints through a parity-striped resilient client
+// under four regimes:
+//
+//	healthy        all OSTs healthy (hedging armed but idle)
+//	dead-1         one OST fail-stops mid-run; parity absorbs it and
+//	               the run validates RestoreLatest + a scrub rebuild
+//	slow-1         one OST serves 10× slow; hedged writes redirect
+//	slow-1-nohedge the same straggler with hedging disabled
+//
+// All series are effective bandwidths (bytes moved per second of the
+// metric) so the harness's ratio checks compare latencies inverted:
+// the four above invert end-to-end completion time, and the two
+// `-p99` series invert the p99 per-step commit stall.
+const (
+	degradedSteps    = 4  // checkpoint steps per rank
+	degradedVars     = 4  // variables per step
+	degradedVictim   = 0  // the OST that dies or slows
+	degradedSlowdown = 10 // service-time multiplier for the slow OST
+)
+
+// ExtDegraded is the degraded-mode striping extension experiment.
+func ExtDegraded() Figure {
+	f := Figure{
+		ID:        "ext-degraded",
+		Title:     "EXTENSION: checkpoint writes under dead and slow OSTs (parity + hedging)",
+		Transfers: []int64{kb64},
+		Phase:     PhaseWrite,
+		Series: []Series{
+			{Name: "healthy"},
+			{Name: "dead-1"},
+			{Name: "slow-1"},
+			{Name: "slow-1-nohedge"},
+			{Name: "healthy-p99"},
+			{Name: "slow-1-p99"},
+		},
+		Checks: []Check{
+			{
+				Desc:  "parity keeps commits flowing with one OST dead: dead-1 over healthy at max nodes",
+				Ratio: ratioAtMaxNodes("dead-1", kb64, "healthy", kb64, 4),
+				Min:   0.4, Paper: 0,
+			},
+			{
+				Desc:  "hedged writes beat unhedged under one 10x-slow OST at max nodes",
+				Ratio: ratioAtMaxNodes("slow-1", kb64, "slow-1-nohedge", kb64, 4),
+				Min:   1.15, Paper: 0,
+			},
+			{
+				Desc:  "hedging keeps p99 commit within 2x of healthy under one slow OST",
+				Ratio: ratioAtMaxNodes("slow-1-p99", kb64, "healthy-p99", kb64, 4),
+				Min:   0.5, Paper: 0,
+			},
+		},
+	}
+	f.Custom = runDegradedFigure
+	return f
+}
+
+// degradedMode is one health regime of the sweep.
+type degradedMode struct {
+	name  string
+	dead  bool // fail-stop the victim mid-run, then validate recovery
+	slow  bool // degrade the victim before the run starts
+	hedge bool
+}
+
+func runDegradedFigure(f Figure, scale Scale, progress func(string)) (*FigureResult, error) {
+	fr := &FigureResult{Figure: f}
+	modes := []degradedMode{
+		{name: "healthy", hedge: true},
+		{name: "dead-1", dead: true, hedge: true},
+		{name: "slow-1", slow: true, hedge: true},
+		{name: "slow-1-nohedge", slow: true},
+	}
+	for _, nodes := range scale.Nodes {
+		for _, m := range modes {
+			total, p99, err := runDegradedMode(nodes, scale, m)
+			if err != nil {
+				return nil, fmt.Errorf("ext-degraded %s n=%d: %w", m.name, nodes, err)
+			}
+			if total <= 0 || p99 <= 0 {
+				return nil, fmt.Errorf("ext-degraded %s n=%d: zero latency", m.name, nodes)
+			}
+			bytes := float64(int64(nodes) * scale.PerRankBytes * degradedSteps)
+			fr.Points = append(fr.Points, Point{
+				Series:      m.name,
+				Transfer:    kb64,
+				StripeCount: 4,
+				Nodes:       nodes,
+				BW:          bytes / total.Seconds(),
+			})
+			if progress != nil {
+				progress(fmt.Sprintf("%s %-14s n=%-2d  %10v  (%9.1f MB/s effective)",
+					f.ID, m.name, nodes, total.Round(time.Microsecond), bytes/total.Seconds()/1e6))
+			}
+			if m.name == "healthy" || m.name == "slow-1" {
+				fr.Points = append(fr.Points, Point{
+					Series:      m.name + "-p99",
+					Transfer:    kb64,
+					StripeCount: 4,
+					Nodes:       nodes,
+					BW:          float64(scale.PerRankBytes) / p99.Seconds(),
+				})
+				if progress != nil {
+					progress(fmt.Sprintf("%s %-14s n=%-2d  %10v  (p99 commit)",
+						f.ID, m.name+"-p99", nodes, p99.Round(time.Microsecond)))
+				}
+			}
+		}
+	}
+	return fr, nil
+}
+
+// degradedClusterConfig shrinks the Viking cluster so one OST is a
+// meaningful fraction of capacity, and tightens the write-back window
+// so service-time differences (the thing hedging attacks) dominate
+// commit latency instead of being absorbed by dirty-lag slack.
+func degradedClusterConfig(nodes int) pfs.Config {
+	cfg := pfs.VikingConfig(nodes)
+	cfg.NumOSTs = 10
+	cfg.MaxDirtyLag = 4 * time.Millisecond
+	return cfg
+}
+
+// runDegradedMode runs one regime at one node count and returns the
+// end-to-end completion time and the p99 per-step commit stall across
+// all ranks. In dead mode it also validates the recovery story:
+// RestoreLatest on every rank's store (degraded reads), a scrub that
+// rebuilds the lost stripes onto spares, and a clean re-read after.
+func runDegradedMode(nodes int, scale Scale, m degradedMode) (time.Duration, time.Duration, error) {
+	k := sim.NewKernel()
+	cluster := pfs.NewCluster(k, degradedClusterConfig(nodes))
+	cluster.EnableResilience(pfs.Resilience{
+		Hedge:  m.hedge,
+		Parity: true,
+		// The slow regimes compare hedging against no mitigation at all,
+		// so the breaker's slow-trip (which would re-stripe around the
+		// straggler in both runs) is disabled; error tripping stays.
+		Tracker: resil.Options{SlowStrikes: 1 << 30},
+	})
+	if m.slow {
+		cluster.SetOSTHealth(degradedVictim, pfs.OSTDegraded, degradedSlowdown)
+	}
+
+	errs := make([]error, nodes)
+	mgrs := make([]*core.Manager, nodes)
+	stores := make([]*ckpt.Store, nodes)
+	var commits []time.Duration
+	var total time.Duration
+	for r := 0; r < nodes; r++ {
+		r := r
+		k.Spawn(fmt.Sprintf("deg-rank%02d", r), func(p *sim.Proc) {
+			errs[r] = func() error {
+				mgr, err := core.NewManager(fmt.Sprintf("deg/rank%03d", r), core.ManagerOptions{
+					Store: core.StoreOptions{
+						FS:              cluster.ResilientClient(r),
+						Platform:        lsm.SimPlatform(k),
+						Async:           true,
+						WriteBufferSize: scale.BufferSize,
+					},
+					Kernel: k,
+				})
+				if err != nil {
+					return err
+				}
+				mgrs[r] = mgr
+				stores[r] = ckpt.New(mgr, ckpt.Options{})
+				tp := ckpt.Direct{Store: stores[r]}
+				for step := int64(1); step <= degradedSteps; step++ {
+					start := p.Now()
+					if err := writeDegradedStep(tp, step, scale.PerRankBytes); err != nil {
+						return fmt.Errorf("rank %d step %d: %w", r, step, err)
+					}
+					commits = append(commits, p.Now().Sub(start))
+					if m.dead && r == 0 && step == degradedSteps/2 {
+						cluster.SetOSTHealth(degradedVictim, pfs.OSTDead, 0)
+					}
+				}
+				if end := p.Now().Duration(); end > total {
+					total = end
+				}
+				return nil
+			}()
+		})
+	}
+	if err := k.Run(); err != nil {
+		return 0, 0, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Validation and teardown run in a second simulation pass so they
+	// never pollute the measured window.
+	var vErr error
+	k.Spawn("deg-validate", func(p *sim.Proc) {
+		vErr = func() error {
+			if m.dead {
+				if err := validateDegradedRecovery(cluster, stores, scale); err != nil {
+					return err
+				}
+			}
+			for _, mgr := range mgrs {
+				if mgr == nil {
+					continue
+				}
+				if err := mgr.Close(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+	})
+	if err := k.Run(); err != nil {
+		return 0, 0, err
+	}
+	if vErr != nil {
+		return 0, 0, vErr
+	}
+	return total, quantileDuration(commits, 0.99), nil
+}
+
+// validateDegradedRecovery proves the dead-OST run is not just fast but
+// correct: every rank restores its last step through degraded reads, a
+// scrub rebuilds all lost stripes onto spares with nothing
+// unrecoverable, and the rebuilt files read back clean.
+func validateDegradedRecovery(cluster *pfs.Cluster, stores []*ckpt.Store, scale Scale) error {
+	for r, store := range stores {
+		if err := checkDegradedRestore(store, r, scale); err != nil {
+			return err
+		}
+	}
+	rep, err := cluster.ResilientClient(0).Scrub("deg")
+	if err != nil {
+		return fmt.Errorf("scrub: %w", err)
+	}
+	if rep.Unrecoverable != 0 {
+		return fmt.Errorf("scrub left %d units unrecoverable (report %+v)", rep.Unrecoverable, rep)
+	}
+	if rep.Repaired == 0 {
+		return fmt.Errorf("dead OST left nothing to rebuild — victim held no data (report %+v)", rep)
+	}
+	// After the rebuild the stores must still restore, now off spares.
+	return checkDegradedRestore(stores[0], 0, scale)
+}
+
+func checkDegradedRestore(store *ckpt.Store, rank int, scale Scale) error {
+	step, state, err := store.RestoreLatest()
+	if err != nil {
+		return fmt.Errorf("rank %d restore: %w", rank, err)
+	}
+	if step != degradedSteps {
+		return fmt.Errorf("rank %d restored step %d, want %d", rank, step, degradedSteps)
+	}
+	for v := 0; v < degradedVars; v++ {
+		name := fmt.Sprintf("var%02d", v)
+		want := degradedPayload(step, v, scale.PerRankBytes/degradedVars)
+		if !bytes.Equal(state[name], want) {
+			return fmt.Errorf("rank %d step %d %s corrupted after degradation", rank, step, name)
+		}
+	}
+	return nil
+}
+
+// writeDegradedStep commits one checkpoint step of patterned payloads
+// (so restore validation detects corruption, not just presence).
+func writeDegradedStep(tp ckpt.TwoPhase, step int64, perRank int64) error {
+	w, err := tp.Begin(step)
+	if err != nil {
+		return err
+	}
+	for v := 0; v < degradedVars; v++ {
+		if err := w.Write(fmt.Sprintf("var%02d", v), degradedPayload(step, v, perRank/degradedVars)); err != nil {
+			return err
+		}
+	}
+	return w.Commit()
+}
+
+func degradedPayload(step int64, v int, n int64) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int64(i) + step*31 + int64(v)*7)
+	}
+	return b
+}
+
+func quantileDuration(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[int(q*float64(len(s)-1)+0.5)]
+}

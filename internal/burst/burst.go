@@ -64,7 +64,15 @@ type Counters struct {
 	DrainedSteps int64 // steps copied to the durable store
 	DrainedBytes int64
 	DrainErrors  int64 // failed drain attempts (step left staged)
-	PendingSteps int64 // staged, not yet drained
+	// DrainErrors broken down by failure class: DrainTransient counts
+	// attempts whose error marked itself retryable (TransientFault) —
+	// the PFS retry budget was exhausted on a flaky target — while
+	// DrainTargetDown counts attempts refused by a down storage target
+	// (TargetDown, e.g. a dead OST behind a breakered route). The
+	// distinction tells operators whether to wait or to re-stripe.
+	DrainTransient  int64
+	DrainTargetDown int64
+	PendingSteps    int64 // staged, not yet drained
 	PendingBytes int64
 	HighWater    int64         // max PendingBytes ever observed
 	StallTime    time.Duration // Commit time blocked on the staging budget
@@ -108,9 +116,10 @@ type Tier struct {
 	workerOn bool
 	closed   bool
 
-	stagedSteps, stagedBytes   int64
-	drainedSteps, drainedBytes int64
-	drainErrors                int64
+	stagedSteps, stagedBytes       int64
+	drainedSteps, drainedBytes     int64
+	drainErrors                    int64
+	drainTransient, drainTargetDwn int64
 	pendingBytes, highWater    int64
 	stallTime, throttleTime    time.Duration
 	drainLag, maxDrainLag      time.Duration
@@ -190,8 +199,10 @@ func (t *Tier) Counters() Counters {
 		StagedBytes:  t.stagedBytes,
 		DrainedSteps: t.drainedSteps,
 		DrainedBytes: t.drainedBytes,
-		DrainErrors:  t.drainErrors,
-		PendingSteps: int64(len(t.queue) + t.inFlight),
+		DrainErrors:     t.drainErrors,
+		DrainTransient:  t.drainTransient,
+		DrainTargetDown: t.drainTargetDwn,
+		PendingSteps:    int64(len(t.queue) + t.inFlight),
 		PendingBytes: t.pendingBytes,
 		HighWater:    t.highWater,
 		StallTime:    t.stallTime,

@@ -9,6 +9,21 @@ import (
 	"lsmio/internal/sim"
 )
 
+// isTransientFault reports whether err (anywhere in its chain) marks
+// itself retryable, e.g. a PFS retry budget exhausted on transient OST
+// faults.
+func isTransientFault(err error) bool {
+	var t interface{ TransientFault() bool }
+	return errors.As(err, &t) && t.TransientFault()
+}
+
+// isTargetDown reports whether err marks a down storage target, e.g. a
+// write refused because an OST is dead (pfs.DeadOSTError).
+func isTargetDown(err error) bool {
+	var t interface{ TargetDown() bool }
+	return errors.As(err, &t) && t.TargetDown()
+}
+
 // StartWorker launches the background drain worker: a daemon
 // simulation process under the simulator, a goroutine outside it. At
 // most one worker runs per tier; extra calls are no-ops.
@@ -118,6 +133,15 @@ func (t *Tier) finish(item stagedStep, err error) {
 			t.lastErr = err
 		}
 		t.drainErrors++
+		// Classify via the error's self-markers so operators can tell a
+		// flaky target (wait and retry) from a dead one (re-stripe): both
+		// markers are method interfaces, so no storage-layer import.
+		switch {
+		case isTargetDown(err):
+			t.drainTargetDwn++
+		case isTransientFault(err):
+			t.drainTransient++
+		}
 	} else {
 		t.drainedSteps++
 		t.drainedBytes += item.bytes

@@ -30,6 +30,7 @@ import (
 	"path"
 	"strings"
 	"sync"
+	"time"
 
 	"lsmio/internal/vfs"
 )
@@ -130,6 +131,14 @@ type Rule struct {
 	// Err overrides the returned error (default: *InjectedError). The
 	// returned error always wraps it.
 	Err error
+	// Delay stalls a firing call for this long before it proceeds. With
+	// DelayOnly the call then continues normally (slow I/O, not an error)
+	// — the deterministic substrate for health-tracker and hedging tests;
+	// without DelayOnly the error is injected after the stall (a slow
+	// failure). The stall uses the sleeper installed by FS.SetSleeper
+	// (real time by default; a simulation passes its virtual-clock sleep).
+	Delay     time.Duration
+	DelayOnly bool
 
 	seen  int
 	fired int
@@ -187,6 +196,8 @@ type FS struct {
 	mu       sync.Mutex
 	rules    []*Rule
 	injected int
+	delayed  int
+	sleeper  func(time.Duration)
 	gen      int // bumped by Crash(); stale handles die
 
 	// durable holds the last synced image of every path touched through
@@ -254,31 +265,72 @@ func cleanPath(name string) string {
 	return name
 }
 
-// check consults the rules for one (op, path) call.
-func (f *FS) check(op Op, p string) error {
+// consult scans the rules for one (op, path) call under the lock,
+// accumulating injected latency from delay-only rules and stopping at the
+// first error rule. The caller applies the latency outside the lock.
+func (f *FS) consult(op Op, p string) (delay time.Duration, keep int64, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, r := range f.rules {
-		if r.matches(op, p) && r.fire() {
-			f.injected++
-			return r.err(op, p)
+		if !r.matches(op, p) || !r.fire() {
+			continue
 		}
+		delay += r.Delay
+		if r.DelayOnly {
+			f.delayed++
+			continue
+		}
+		f.injected++
+		return delay, r.KeepPrefix, r.err(op, p)
 	}
-	return nil
+	return delay, 0, nil
+}
+
+// sleep applies injected latency through the installed sleeper. It must
+// be called without holding f.mu: a simulated sleeper yields to the
+// discrete-event kernel, and even time.Sleep must not serialize the FS.
+func (f *FS) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	s := f.sleeper
+	f.mu.Unlock()
+	if s == nil {
+		s = time.Sleep
+	}
+	s(d)
+}
+
+// check consults the rules for one (op, path) call.
+func (f *FS) check(op Op, p string) error {
+	delay, _, err := f.consult(op, p)
+	f.sleep(delay)
+	return err
 }
 
 // checkWrite is check for write ops, also returning the matched rule's
 // KeepPrefix (bytes to persist before failing).
 func (f *FS) checkWrite(p string) (int64, error) {
+	delay, keep, err := f.consult(OpWrite, p)
+	f.sleep(delay)
+	return keep, err
+}
+
+// SetSleeper installs how injected Rule.Delay latency is spent (default
+// time.Sleep). Simulation-hosted tests pass their virtual-clock sleep so
+// slowness is deterministic and free of real waiting.
+func (f *FS) SetSleeper(s func(time.Duration)) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, r := range f.rules {
-		if r.matches(OpWrite, p) && r.fire() {
-			f.injected++
-			return r.KeepPrefix, r.err(OpWrite, p)
-		}
-	}
-	return 0, nil
+	f.sleeper = s
+}
+
+// Delayed returns how many delay-only stalls have been injected so far.
+func (f *FS) Delayed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delayed
 }
 
 // snapshotInner reads a file's current bytes from the inner FS (used to

@@ -17,6 +17,12 @@ var (
 	ErrNotFound = errors.New("lsm: key not found")
 	// ErrClosed reports use of a closed database.
 	ErrClosed = errors.New("lsm: database is closed")
+	// ErrCorruption marks read failures caused by damaged on-disk data
+	// (block checksum mismatch, undecompressable block). Callers above
+	// the engine use it to tell data damage apart from I/O failures —
+	// e.g. the checkpoint scrubber quarantines the affected step and
+	// keeps going rather than aborting the whole pass.
+	ErrCorruption = errors.New("corruption")
 )
 
 // Stats are cumulative engine counters, used by the benchmarks and the

@@ -286,7 +286,7 @@ func (t *tableReader) readRawBlock(h blockHandle) ([]byte, error) {
 	crc := crc32.Checksum(data, crcTable)
 	crc = crc32.Update(crc, crcTable, []byte{blockType})
 	if crc != wantCRC {
-		return nil, fmt.Errorf("lsm: block at %d: checksum mismatch", h.offset)
+		return nil, fmt.Errorf("lsm: block at %d: checksum mismatch: %w", h.offset, ErrCorruption)
 	}
 	switch blockType {
 	case compressionNone:

@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"fmt"
+	"hash/crc32"
 	"path"
 	"strings"
 	"time"
@@ -24,6 +25,9 @@ func normalize(name string) string {
 type ClientFS struct {
 	c      *Cluster
 	nodeID int
+	// parity makes files this client creates use K+1 XOR-parity layouts
+	// (set via Cluster.ResilientClient).
+	parity bool
 	// latest device completion across all this client's writes, for
 	// Barrier (the write-barrier LSMIO relies on).
 	pending sim.Time
@@ -57,7 +61,7 @@ func (f *ClientFS) CreateStriped(name string, stripeCount int, stripeSize int64)
 	if err != nil {
 		return nil, err
 	}
-	f.c.layouts[name] = f.c.newLayout(stripeCount, stripeSize)
+	f.c.layouts[name] = f.c.newLayout(stripeCount, stripeSize, f.parity)
 	return f.track(&pfsFile{fs: f, name: name, inner: file, lay: f.c.layouts[name]}), nil
 }
 
@@ -80,7 +84,7 @@ func (f *ClientFS) Open(name string) (vfs.File, error) {
 	if !ok {
 		// Defensive: a file written outside the layout map (should not
 		// happen) gets a default layout.
-		lay = f.c.newLayout(0, 0)
+		lay = f.c.newLayout(0, 0, false)
 		f.c.layouts[name] = lay
 	}
 	return f.track(&pfsFile{fs: f, name: name, inner: file, lay: lay}), nil
@@ -145,6 +149,7 @@ func (f *ClientFS) Barrier() error {
 		if err := pf.flushWriteBack(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		pf.finalizeCRCs()
 	}
 	p := f.c.cur()
 	if wait := f.pending.Sub(p.Now()); wait > 0 {
@@ -286,8 +291,12 @@ func (pf *pfsFile) Write(p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	old := pf.readOld(off, len(p))
 	n, err := pf.inner.Write(p)
 	if n > 0 {
+		if pf.lay.parity {
+			pf.lay.xorUpdate(off, p[:n], old[:n])
+		}
 		if werr := pf.noteWrite(off, int64(n)); werr != nil && err == nil {
 			err = werr
 		}
@@ -296,13 +305,46 @@ func (pf *pfsFile) Write(p []byte) (int, error) {
 }
 
 func (pf *pfsFile) WriteAt(p []byte, off int64) (int, error) {
+	old := pf.readOld(off, len(p))
 	n, err := pf.inner.WriteAt(p, off)
 	if n > 0 {
+		if pf.lay.parity {
+			pf.lay.xorUpdate(off, p[:n], old[:n])
+		}
 		if werr := pf.noteWrite(off, int64(n)); werr != nil && err == nil {
 			err = werr
 		}
 	}
 	return n, err
+}
+
+// readOld captures the bytes a write will overwrite (zero-filled past
+// EOF), so the parity object can be updated read-modify-write style.
+// Only parity layouts pay for it.
+func (pf *pfsFile) readOld(off int64, n int) []byte {
+	if !pf.lay.parity || n == 0 {
+		return nil
+	}
+	old := make([]byte, n)
+	pf.inner.ReadAt(old, off) // partial read leaves the zero fill in place
+	return old
+}
+
+// finalizeCRCs records the checksum of every stripe unit touched since
+// the last sync boundary (the scrubber verifies only finalized units).
+func (pf *pfsFile) finalizeCRCs() {
+	l := pf.lay
+	if !l.parity || len(l.dirty) == 0 {
+		return
+	}
+	buf := make([]byte, l.stripeSize)
+	for ci := range l.dirty {
+		n, _ := pf.inner.ReadAt(buf, ci*l.stripeSize)
+		if n > 0 {
+			l.crc[ci] = crc32.ChecksumIEEE(buf[:n])
+		}
+		delete(l.dirty, ci)
+	}
 }
 
 // note records a device completion on the handle and the client.
@@ -326,6 +368,7 @@ func (pf *pfsFile) Sync() error {
 	if err := pf.flushWriteBack(); err != nil {
 		return err
 	}
+	pf.finalizeCRCs()
 	p := pf.fs.c.cur()
 	if wait := pf.pending.Sub(p.Now()); wait > 0 {
 		p.Sleep(wait)
@@ -333,10 +376,50 @@ func (pf *pfsFile) Sync() error {
 	return pf.inner.Sync()
 }
 
-func (pf *pfsFile) Truncate(size int64) error { return pf.inner.Truncate(size) }
+func (pf *pfsFile) Truncate(size int64) error {
+	if err := pf.inner.Truncate(size); err != nil {
+		return err
+	}
+	pf.rebuildParityMeta()
+	return nil
+}
+
+// rebuildParityMeta recomputes the parity bytes and unit checksums from
+// scratch after a size change that XOR deltas cannot track.
+func (pf *pfsFile) rebuildParityMeta() {
+	l := pf.lay
+	if !l.parity {
+		return
+	}
+	size, err := pf.inner.Size()
+	if err != nil {
+		return
+	}
+	l.pdata = nil
+	l.crc = make(map[int64]uint32)
+	l.dirty = make(map[int64]bool)
+	if size == 0 {
+		return
+	}
+	buf := make([]byte, l.stripeSize)
+	k := int64(l.stripeCount)
+	for ci := int64(0); ci*l.stripeSize < size; ci++ {
+		n, _ := pf.inner.ReadAt(buf, ci*l.stripeSize)
+		if n <= 0 {
+			break
+		}
+		l.crc[ci] = crc32.ChecksumIEEE(buf[:n])
+		pOff := (ci / k) * l.stripeSize
+		l.ensureParity(pOff + int64(n))
+		for i := 0; i < n; i++ {
+			l.pdata[pOff+int64(i)] ^= buf[i]
+		}
+	}
+}
 
 func (pf *pfsFile) Close() error {
 	err := pf.flushWriteBack()
+	pf.finalizeCRCs()
 	delete(pf.fs.open, pf)
 	if cerr := pf.inner.Close(); err == nil {
 		err = cerr

@@ -3,9 +3,11 @@ package pfs
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"lsmio/internal/netsim"
+	"lsmio/internal/resil"
 	"lsmio/internal/sim"
 	"lsmio/internal/vfs"
 )
@@ -29,7 +31,73 @@ type Cluster struct {
 
 	faultFn FaultFunc
 
-	stats Stats
+	// Resilience layer (nil/zero unless EnableResilience was called).
+	tracker *resil.Tracker
+	res     Resilience
+
+	stats atomicStats
+}
+
+// atomicStats mirrors Stats with atomic counters (the core.Manager
+// treatment): sim-mode runs are single-threaded, but go-mode shares a
+// cluster between app goroutines and the burst drain worker.
+type atomicStats struct {
+	bytesWritten, bytesRead, writeOps, readOps       atomic.Int64
+	seeks, lockSwitches, metadataOps, clientStalls   atomic.Int64
+	retries, faultsInjected                          atomic.Int64
+	hedges, hedgeWins                                atomic.Int64
+	degradedReads, degradedReadBytes                 atomic.Int64
+	parityBytesWritten, lostStripeWrites             atomic.Int64
+	degradedLayouts                                  atomic.Int64
+	scrubVerified, scrubRepaired, scrubUnrecoverable atomic.Int64
+}
+
+func (s *atomicStats) snapshot() Stats {
+	return Stats{
+		BytesWritten:       s.bytesWritten.Load(),
+		BytesRead:          s.bytesRead.Load(),
+		WriteOps:           s.writeOps.Load(),
+		ReadOps:            s.readOps.Load(),
+		Seeks:              s.seeks.Load(),
+		LockSwitches:       s.lockSwitches.Load(),
+		MetadataOps:        s.metadataOps.Load(),
+		ClientStalls:       s.clientStalls.Load(),
+		Retries:            s.retries.Load(),
+		FaultsInjected:     s.faultsInjected.Load(),
+		Hedges:             s.hedges.Load(),
+		HedgeWins:          s.hedgeWins.Load(),
+		DegradedReads:      s.degradedReads.Load(),
+		DegradedReadBytes:  s.degradedReadBytes.Load(),
+		ParityBytesWritten: s.parityBytesWritten.Load(),
+		LostStripeWrites:   s.lostStripeWrites.Load(),
+		DegradedLayouts:    s.degradedLayouts.Load(),
+		ScrubVerified:      s.scrubVerified.Load(),
+		ScrubRepaired:      s.scrubRepaired.Load(),
+		ScrubUnrecoverable: s.scrubUnrecoverable.Load(),
+	}
+}
+
+func (s *atomicStats) reset() {
+	s.bytesWritten.Store(0)
+	s.bytesRead.Store(0)
+	s.writeOps.Store(0)
+	s.readOps.Store(0)
+	s.seeks.Store(0)
+	s.lockSwitches.Store(0)
+	s.metadataOps.Store(0)
+	s.clientStalls.Store(0)
+	s.retries.Store(0)
+	s.faultsInjected.Store(0)
+	s.hedges.Store(0)
+	s.hedgeWins.Store(0)
+	s.degradedReads.Store(0)
+	s.degradedReadBytes.Store(0)
+	s.parityBytesWritten.Store(0)
+	s.lostStripeWrites.Store(0)
+	s.degradedLayouts.Store(0)
+	s.scrubVerified.Store(0)
+	s.scrubRepaired.Store(0)
+	s.scrubUnrecoverable.Store(0)
 }
 
 // FaultFunc decides whether one OST RPC attempt fails. It is consulted
@@ -62,7 +130,7 @@ func (c *Cluster) retryBackoff(attempt, ostIdx int) time.Duration {
 	}
 	h := uint64(ostIdx+1)*0x9e3779b97f4a7c15 +
 		uint64(attempt+1)*0xbf58476d1ce4e5b9 +
-		uint64(c.stats.Retries)*0x94d049bb133111eb
+		uint64(c.stats.retries.Load())*0x94d049bb133111eb
 	h ^= h >> 31
 	h *= 0x9e3779b97f4a7c15
 	h ^= h >> 29
@@ -71,11 +139,57 @@ func (c *Cluster) retryBackoff(attempt, ostIdx int) time.Duration {
 }
 
 // layout is a file's stripe mapping, fixed at creation (Lustre semantics).
+// Scrub relocation is the one exception: it may remap a lost member onto a
+// healthy spare OST.
 type layout struct {
 	id          uint64
 	stripeSize  int64
 	stripeCount int
 	osts        []int // stripe i lives on osts[i % stripeCount]
+
+	// K+1 XOR-parity extension (resilience layer; zero for plain RAID-0).
+	parity     bool
+	parityOST  int
+	lost       map[int]bool // data slot -> write absorbed while member dead
+	parityLost bool
+	// pdata holds the real parity bytes: parity object offset
+	// row*stripeSize+within = XOR over the row's data units.
+	pdata []byte
+	// crc is the per-stripe-unit checksum (global unit index -> CRC32),
+	// finalized at sync boundaries; dirty tracks units touched since.
+	crc   map[int64]uint32
+	dirty map[int64]bool
+}
+
+// slotOf returns the data slot an OST serves in this layout, -1 if none.
+func (l *layout) slotOf(ostIdx int) int {
+	for i, o := range l.osts {
+		if o == ostIdx {
+			return i
+		}
+	}
+	return -1
+}
+
+// ensureParity grows the parity byte array to at least n bytes.
+func (l *layout) ensureParity(n int64) {
+	if int64(len(l.pdata)) < n {
+		l.pdata = append(l.pdata, make([]byte, n-int64(len(l.pdata)))...)
+	}
+}
+
+// xorUpdate folds a write of new bytes over old bytes into the parity
+// object and marks the touched stripe units dirty for CRC finalization.
+func (l *layout) xorUpdate(off int64, newb, oldb []byte) {
+	s, k := l.stripeSize, int64(l.stripeCount)
+	for i := int64(0); i < int64(len(newb)); i++ {
+		fo := off + i
+		ci := fo / s
+		po := (ci/k)*s + fo%s
+		l.ensureParity(po + 1)
+		l.pdata[po] ^= oldb[i] ^ newb[i]
+		l.dirty[ci] = true
+	}
 }
 
 // busyClock is a serial server modelled by a busy-until timestamp:
@@ -103,6 +217,12 @@ type ost struct {
 	busyClock
 	streams    []streamPos    // most recent first, at most streamCacheSize
 	lockHolder map[uint64]int // fileID -> last writing client
+
+	// Fail-stop / slow fault model (SetOSTHealth), distinct from the
+	// transient FaultFunc: a degraded OST serves every request slow times
+	// slower; a dead OST refuses requests outright.
+	health OSTHealth
+	slow   float64
 }
 
 type streamPos struct {
@@ -169,13 +289,13 @@ func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Stats returns cumulative storage statistics.
-func (c *Cluster) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the cumulative storage statistics.
+func (c *Cluster) Stats() Stats { return c.stats.snapshot() }
 
 // ResetStats zeroes the cumulative statistics, starting a fresh
 // accounting window (e.g. to isolate the retries a single drain incurs
 // from those of the workload that staged the data).
-func (c *Cluster) ResetStats() { c.stats = Stats{} }
+func (c *Cluster) ResetStats() { c.stats.reset() }
 
 // Store exposes the backing in-memory store (tests use it to verify data).
 func (c *Cluster) Store() *vfs.MemFS { return c.store }
@@ -192,8 +312,13 @@ func (c *Cluster) cur() *sim.Proc {
 	return p
 }
 
-// newLayout allocates striping for a new file.
-func (c *Cluster) newLayout(stripeCount int, stripeSize int64) *layout {
+// newLayout allocates striping for a new file. Dead OSTs and OSTs whose
+// circuit breaker rejects routing are skipped (degraded-mode re-striping);
+// if fewer healthy OSTs remain than the requested width, the stripe count
+// is narrowed rather than failing the create. With parity, one extra OST
+// is allocated as the dedicated parity target (K+1); parity is silently
+// dropped when fewer than two usable OSTs exist.
+func (c *Cluster) newLayout(stripeCount int, stripeSize int64, parity bool) *layout {
 	if stripeCount <= 0 {
 		stripeCount = c.cfg.DefaultStripeCount
 	}
@@ -203,25 +328,61 @@ func (c *Cluster) newLayout(stripeCount int, stripeSize int64) *layout {
 	if stripeSize <= 0 {
 		stripeSize = c.cfg.DefaultStripeSize
 	}
+	want := stripeCount
+	if parity {
+		if want < c.cfg.NumOSTs {
+			want++
+		}
+	}
+	sel := make([]int, 0, want)
+	skipped := 0
+	for i := 0; i < c.cfg.NumOSTs && len(sel) < want; i++ {
+		idx := (c.allocNext + i) % c.cfg.NumOSTs
+		if c.osts[idx].health == OSTDead {
+			skipped++
+			continue
+		}
+		// Route may grant a half-open probe: the OST joins this layout and
+		// its first write resolves the probe.
+		if c.tracker != nil && !c.tracker.Route(idx) {
+			skipped++
+			continue
+		}
+		sel = append(sel, idx)
+	}
+	if len(sel) == 0 {
+		// Nothing usable: fall back to blind round-robin so the error
+		// surfaces at write time (DeadOSTError) instead of losing it here.
+		for i := 0; i < want && i < c.cfg.NumOSTs; i++ {
+			sel = append(sel, (c.allocNext+i)%c.cfg.NumOSTs)
+		}
+	}
+	if skipped > 0 {
+		c.stats.degradedLayouts.Add(1)
+	}
+	c.allocNext = (c.allocNext + stripeCount) % c.cfg.NumOSTs
 	c.nextFileID++
 	l := &layout{
-		id:          c.nextFileID,
-		stripeSize:  stripeSize,
-		stripeCount: stripeCount,
-		osts:        make([]int, stripeCount),
+		id:         c.nextFileID,
+		stripeSize: stripeSize,
 	}
-	start := c.allocNext
-	c.allocNext = (c.allocNext + stripeCount) % c.cfg.NumOSTs
-	for i := 0; i < stripeCount; i++ {
-		l.osts[i] = (start + i) % c.cfg.NumOSTs
+	if parity && len(sel) >= 2 {
+		l.parity = true
+		l.parityOST = sel[len(sel)-1]
+		sel = sel[:len(sel)-1]
+		l.lost = make(map[int]bool)
+		l.crc = make(map[int64]uint32)
+		l.dirty = make(map[int64]bool)
 	}
+	l.stripeCount = len(sel)
+	l.osts = sel
 	return l
 }
 
 // chargeMDS books one metadata operation to the calling process: a network
 // round trip plus serialized MDS service.
 func (c *Cluster) chargeMDS(p *sim.Proc, client int) {
-	c.stats.MetadataOps++
+	c.stats.metadataOps.Add(1)
 	// Request to the MDS (modelled as living beside OSS 0).
 	c.fabric.Transfer(p, client, c.ossNodeID(0), 256)
 	done := c.mds.serve(p.Now(), c.cfg.MDSOpTime)
@@ -285,15 +446,18 @@ func (c *Cluster) ostService(o *ost, now sim.Time, client int, l *layout, r run,
 		} else {
 			d += c.cfg.ReadSeek
 		}
-		c.stats.Seeks++
+		c.stats.seeks.Add(1)
 	}
 	// Extent locks: writes by a non-holder migrate the lock.
 	if isWrite {
 		if holder, ok := o.lockHolder[l.id]; ok && holder != client {
 			d += c.cfg.LockSwitch
-			c.stats.LockSwitches++
+			c.stats.lockSwitches.Add(1)
 		}
 		o.lockHolder[l.id] = client
+	}
+	if o.health == OSTDegraded && o.slow > 1 {
+		d = time.Duration(float64(d) * o.slow)
 	}
 	return o.serve(now, d)
 }
@@ -301,7 +465,7 @@ func (c *Cluster) ostService(o *ost, now sim.Time, client int, l *layout, r run,
 // chargeWriteCPU books the client-side data-path cost of accepting n
 // bytes into the write-back cache (page copy + checksum).
 func (c *Cluster) chargeWriteCPU(p *sim.Proc, n int64) {
-	c.stats.BytesWritten += n
+	c.stats.bytesWritten.Add(n)
 	p.Sleep(time.Duration(float64(n) / c.cfg.ClientStreamBW * 1e9))
 }
 
@@ -311,79 +475,149 @@ func (c *Cluster) chargeWriteCPU(p *sim.Proc, n int64) {
 // completion time. Transient RPC faults (InjectFaults) are retried with
 // bounded exponential backoff on the virtual clock; permanent faults and
 // exhausted budgets surface as errors.
+//
+// With the resilience layer on, a straggling run may be hedged to a spare
+// OST; on a parity layout, a run whose member OST is dead is absorbed (at
+// most one member) instead of failing the write, and the amortized parity
+// update is shipped to the dedicated parity OST.
 func (c *Cluster) chargeWriteRPC(p *sim.Proc, client int, l *layout, off, n int64) (sim.Time, error) {
 	var latest sim.Time
 	for _, r := range l.stripeRuns(off, n) {
-		for attempt := 0; ; attempt++ {
-			c.stats.WriteOps++
-			p.Sleep(c.cfg.ClientRPCOverhead)
-			// Wire to the OSS.
-			ossIdx := c.ossOf(r.ostIdx)
-			c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), r.n)
-			if c.faultFn != nil {
-				if err := c.faultFn(true, r.ostIdx, attempt); err != nil {
-					c.stats.FaultsInjected++
-					if transientFault(err) && attempt < c.cfg.RetryMax {
-						c.stats.Retries++
-						p.Sleep(c.retryBackoff(attempt, r.ostIdx))
-						continue
-					}
-					return latest, fmt.Errorf("pfs: write to OST %d failed after %d attempt(s): %w",
-						r.ostIdx, attempt+1, err)
+		done, err := c.writeRun(p, client, l, r, true)
+		if err != nil {
+			if l.parity && targetDown(err) {
+				if slot := l.slotOf(r.ostIdx); slot >= 0 && c.absorbLostWrite(l, slot) {
+					continue
 				}
 			}
-			// OSS backend, then OST, asynchronously from the client.
-			ossDone := c.oss[ossIdx].serve(p.Now(),
-				time.Duration(float64(r.n)/c.cfg.OSSBandwidth*1e9))
-			done := c.ostService(c.osts[r.ostIdx], ossDone, client, l, r, true)
-			if done > latest {
-				latest = done
+			return latest, err
+		}
+		if done > latest {
+			latest = done
+		}
+	}
+	if l.parity && n > 0 {
+		done, err := c.writeParityRun(p, client, l, off, n)
+		if err != nil {
+			if targetDown(err) && c.absorbLostParity(l) {
+				return latest, nil
 			}
-			// Dirty-lag backpressure: stall until the device is close enough.
-			if lag := done.Sub(p.Now()); lag > c.cfg.MaxDirtyLag {
-				c.stats.ClientStalls++
-				p.Sleep(lag - c.cfg.MaxDirtyLag)
-			}
-			break
+			return latest, err
+		}
+		if done > latest {
+			latest = done
 		}
 	}
 	return latest, nil
 }
 
-// chargeRead books a synchronous client read, with the same transient
-// retry policy as writes.
-func (c *Cluster) chargeRead(p *sim.Proc, client int, l *layout, off, n int64) error {
-	c.stats.BytesRead += n
-	for _, r := range l.stripeRuns(off, n) {
-		for attempt := 0; ; attempt++ {
-			c.stats.ReadOps++
-			p.Sleep(c.cfg.ClientRPCOverhead)
-			ossIdx := c.ossOf(r.ostIdx)
-			// Request travels to the OSS (small), data comes back.
-			c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), 128)
-			if c.faultFn != nil {
-				if err := c.faultFn(false, r.ostIdx, attempt); err != nil {
-					c.stats.FaultsInjected++
-					if transientFault(err) && attempt < c.cfg.RetryMax {
-						c.stats.Retries++
-						p.Sleep(c.retryBackoff(attempt, r.ostIdx))
-						continue
-					}
-					return fmt.Errorf("pfs: read from OST %d failed after %d attempt(s): %w",
-						r.ostIdx, attempt+1, err)
+// writeRun ships one contiguous run to its OST with the transient-retry
+// policy, health checks, tracker observation, and (for data runs) hedging.
+func (c *Cluster) writeRun(p *sim.Proc, client int, l *layout, r run, allowHedge bool) (sim.Time, error) {
+	o := c.osts[r.ostIdx]
+	if l.parity {
+		if slot := l.slotOf(r.ostIdx); slot >= 0 && l.lost[slot] {
+			// Member already absorbed by parity; don't resurrect it.
+			return 0, &DeadOSTError{OST: r.ostIdx}
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		c.stats.writeOps.Add(1)
+		p.Sleep(c.cfg.ClientRPCOverhead)
+		// Wire to the OSS.
+		ossIdx := c.ossOf(r.ostIdx)
+		c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), r.n)
+		if o.health == OSTDead {
+			c.observeErr(r.ostIdx)
+			return 0, &DeadOSTError{OST: r.ostIdx}
+		}
+		if c.faultFn != nil {
+			if err := c.faultFn(true, r.ostIdx, attempt); err != nil {
+				c.stats.faultsInjected.Add(1)
+				c.observeErr(r.ostIdx)
+				if transientFault(err) && attempt < c.cfg.RetryMax {
+					c.stats.retries.Add(1)
+					p.Sleep(c.retryBackoff(attempt, r.ostIdx))
+					continue
 				}
+				return 0, fmt.Errorf("pfs: write to OST %d failed after %d attempt(s): %w",
+					r.ostIdx, attempt+1, err)
 			}
-			done := c.ostService(c.osts[r.ostIdx], p.Now(), client, l, r, false)
-			if wait := done.Sub(p.Now()); wait > 0 {
-				p.Sleep(wait)
+		}
+		// OSS backend, then OST, asynchronously from the client.
+		start := p.Now()
+		ossDone := c.oss[ossIdx].serve(start,
+			time.Duration(float64(r.n)/c.cfg.OSSBandwidth*1e9))
+		done := c.ostService(o, ossDone, client, l, r, true)
+		if allowHedge {
+			done = c.maybeHedge(p, client, l, r, start, done)
+		}
+		c.observeOK(r.ostIdx, done.Sub(start))
+		// Dirty-lag backpressure: stall until the device is close enough.
+		if lag := done.Sub(p.Now()); lag > c.cfg.MaxDirtyLag {
+			c.stats.clientStalls.Add(1)
+			p.Sleep(lag - c.cfg.MaxDirtyLag)
+		}
+		return done, nil
+	}
+}
+
+// chargeRead books a synchronous client read, with the same transient
+// retry policy as writes. On a parity layout with exactly one member
+// down, the run is served by parity reconstruction from the survivors.
+func (c *Cluster) chargeRead(p *sim.Proc, client int, l *layout, off, n int64) error {
+	c.stats.bytesRead.Add(n)
+	for _, r := range l.stripeRuns(off, n) {
+		slot := l.slotOf(r.ostIdx)
+		down := c.osts[r.ostIdx].health == OSTDead ||
+			(l.parity && slot >= 0 && l.lost[slot])
+		if down {
+			if l.parity && c.canDegradeRead(l, slot) {
+				c.degradedRead(p, client, l, r)
+				continue
 			}
-			c.fabric.Transfer(p, c.ossNodeID(ossIdx), client, r.n)
-			// Client-side copy out of the reply.
-			p.Sleep(time.Duration(float64(r.n) / c.cfg.ClientStreamBW * 1e9))
-			break
+			return fmt.Errorf("pfs: read of %d bytes unavailable: %w",
+				r.n, &DeadOSTError{OST: r.ostIdx})
+		}
+		if err := c.readRun(p, client, l, r); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// readRun ships one contiguous read run with the transient-retry policy.
+func (c *Cluster) readRun(p *sim.Proc, client int, l *layout, r run) error {
+	for attempt := 0; ; attempt++ {
+		c.stats.readOps.Add(1)
+		p.Sleep(c.cfg.ClientRPCOverhead)
+		ossIdx := c.ossOf(r.ostIdx)
+		// Request travels to the OSS (small), data comes back.
+		c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), 128)
+		if c.faultFn != nil {
+			if err := c.faultFn(false, r.ostIdx, attempt); err != nil {
+				c.stats.faultsInjected.Add(1)
+				c.observeErr(r.ostIdx)
+				if transientFault(err) && attempt < c.cfg.RetryMax {
+					c.stats.retries.Add(1)
+					p.Sleep(c.retryBackoff(attempt, r.ostIdx))
+					continue
+				}
+				return fmt.Errorf("pfs: read from OST %d failed after %d attempt(s): %w",
+					r.ostIdx, attempt+1, err)
+			}
+		}
+		start := p.Now()
+		done := c.ostService(c.osts[r.ostIdx], start, client, l, r, false)
+		if wait := done.Sub(p.Now()); wait > 0 {
+			p.Sleep(wait)
+		}
+		c.observeOK(r.ostIdx, done.Sub(start))
+		c.fabric.Transfer(p, c.ossNodeID(ossIdx), client, r.n)
+		// Client-side copy out of the reply.
+		p.Sleep(time.Duration(float64(r.n) / c.cfg.ClientStreamBW * 1e9))
+		return nil
+	}
 }
 
 // OSTUtilization returns each OST's busy time as a fraction of elapsed

@@ -1,0 +1,214 @@
+package resil
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced monotonic clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func newTestTracker(n int, opts Options) (*Tracker, *fakeClock) {
+	clk := &fakeClock{}
+	return New(n, clk.Now, opts), clk
+}
+
+func TestBreakerOpensOnConsecutiveErrors(t *testing.T) {
+	tr, _ := newTestTracker(4, Options{ErrThreshold: 3})
+	if !tr.Route(0) {
+		t.Fatal("healthy target should route")
+	}
+	tr.ObserveErr(0)
+	tr.ObserveErr(0)
+	if tr.State(0) != Closed {
+		t.Fatalf("state after 2 errors = %v, want closed", tr.State(0))
+	}
+	tr.ObserveErr(0)
+	if tr.State(0) != Open {
+		t.Fatalf("state after 3 errors = %v, want open", tr.State(0))
+	}
+	if tr.Route(0) {
+		t.Fatal("open breaker should not route before timeout")
+	}
+	if tr.Denials() == 0 {
+		t.Fatal("denial not counted")
+	}
+}
+
+func TestSuccessResetsErrorStreak(t *testing.T) {
+	tr, _ := newTestTracker(2, Options{ErrThreshold: 3})
+	tr.ObserveErr(0)
+	tr.ObserveErr(0)
+	tr.ObserveOK(0, time.Millisecond)
+	tr.ObserveErr(0)
+	tr.ObserveErr(0)
+	if tr.State(0) != Closed {
+		t.Fatalf("streak should have reset; state = %v", tr.State(0))
+	}
+}
+
+func TestHalfOpenProbeRecovers(t *testing.T) {
+	tr, clk := newTestTracker(2, Options{ErrThreshold: 1, OpenTimeout: 100 * time.Millisecond})
+	tr.ObserveErr(0)
+	if tr.State(0) != Open {
+		t.Fatal("breaker should be open")
+	}
+	clk.Advance(50 * time.Millisecond)
+	if tr.Route(0) {
+		t.Fatal("should still be rejecting before OpenTimeout")
+	}
+	clk.Advance(60 * time.Millisecond)
+	if !tr.Route(0) {
+		t.Fatal("first Route after timeout should grant the half-open probe")
+	}
+	if tr.State(0) != HalfOpen {
+		t.Fatalf("state = %v, want half-open", tr.State(0))
+	}
+	if tr.Route(0) {
+		t.Fatal("only one probe may be in flight while half-open")
+	}
+	tr.ObserveOK(0, time.Millisecond)
+	if tr.State(0) != Closed {
+		t.Fatalf("successful probe should close breaker; state = %v", tr.State(0))
+	}
+	if !tr.Route(0) {
+		t.Fatal("closed breaker should route")
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	tr, clk := newTestTracker(2, Options{ErrThreshold: 1, OpenTimeout: 100 * time.Millisecond})
+	tr.ObserveErr(0)
+	clk.Advance(150 * time.Millisecond)
+	if !tr.Route(0) {
+		t.Fatal("probe should be granted")
+	}
+	tr.ObserveErr(0)
+	if tr.State(0) != Open {
+		t.Fatalf("failed probe should reopen; state = %v", tr.State(0))
+	}
+	// Timer restarted: still rejecting until a fresh timeout elapses.
+	clk.Advance(50 * time.Millisecond)
+	if tr.Route(0) {
+		t.Fatal("reopened breaker should reject until a fresh timeout elapses")
+	}
+	clk.Advance(60 * time.Millisecond)
+	if !tr.Route(0) {
+		t.Fatal("second probe should be granted after fresh timeout")
+	}
+}
+
+func TestSlownessTripsBreaker(t *testing.T) {
+	tr, _ := newTestTracker(4, Options{SlowFactor: 5, SlowStrikes: 4})
+	// Establish a 1ms baseline on targets 1..3.
+	for r := 0; r < 8; r++ {
+		for i := 1; i < 4; i++ {
+			tr.ObserveOK(i, time.Millisecond)
+		}
+	}
+	// Target 0 serves 10x the median.
+	for r := 0; r < 4; r++ {
+		if tr.State(0) != Closed {
+			break
+		}
+		tr.ObserveOK(0, 10*time.Millisecond)
+	}
+	if tr.State(0) != Open {
+		t.Fatalf("sustained slowness should open breaker; state = %v", tr.State(0))
+	}
+	snap := tr.Snapshot()
+	if snap[0].Reason != "slow" {
+		t.Fatalf("trip reason = %q, want slow", snap[0].Reason)
+	}
+	if snap[0].Trips != 1 {
+		t.Fatalf("trips = %d, want 1", snap[0].Trips)
+	}
+}
+
+func TestUniformLoadNeverTrips(t *testing.T) {
+	tr, _ := newTestTracker(4, Options{SlowFactor: 5, SlowStrikes: 4})
+	for r := 0; r < 64; r++ {
+		for i := 0; i < 4; i++ {
+			tr.ObserveOK(i, time.Duration(1+r%3)*time.Millisecond)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if tr.State(i) != Closed {
+			t.Fatalf("target %d tripped under uniform load", i)
+		}
+	}
+}
+
+func TestEWMAAndQuantile(t *testing.T) {
+	tr, _ := newTestTracker(2, Options{Alpha: 0.5, Window: 8})
+	tr.ObserveOK(0, 10*time.Millisecond)
+	if got := tr.EWMA(0); got != 10*time.Millisecond {
+		t.Fatalf("first EWMA = %v, want 10ms", got)
+	}
+	tr.ObserveOK(0, 20*time.Millisecond)
+	if got := tr.EWMA(0); got != 15*time.Millisecond {
+		t.Fatalf("EWMA = %v, want 15ms", got)
+	}
+	if tr.Quantile(0.5) == 0 {
+		t.Fatal("quantile should be non-zero after observations")
+	}
+	if lo, hi := tr.Quantile(0), tr.Quantile(1); lo != 10*time.Millisecond || hi != 20*time.Millisecond {
+		t.Fatalf("quantile bounds = %v..%v, want 10ms..20ms", lo, hi)
+	}
+	// Ring wraps without panicking.
+	for i := 0; i < 32; i++ {
+		tr.ObserveOK(1, time.Millisecond)
+	}
+	if tr.Quantile(0.99) == 0 {
+		t.Fatal("quantile after wrap should be non-zero")
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	tr, _ := newTestTracker(1, Options{})
+	if tr.Quantile(0.5) != 0 {
+		t.Fatal("quantile of empty window should be 0")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tr, clk := newTestTracker(8, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch i % 4 {
+				case 0:
+					tr.ObserveOK(g, time.Duration(i)*time.Microsecond)
+				case 1:
+					tr.ObserveErr(g)
+				case 2:
+					tr.Route(g)
+					clk.Advance(time.Microsecond)
+				case 3:
+					tr.Quantile(0.9)
+					tr.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
