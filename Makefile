@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench
+.PHONY: build test check race vet bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,18 @@ race:
 	$(GO) test -race ./...
 
 # Full gate: vet + the complete test suite (including the crash-point
-# enumeration sweeps in internal/robustness) under the race detector.
-check: vet race
+# enumeration sweeps in internal/robustness) under the race detector,
+# plus a quick-scale end-to-end smoke of the extension figures.
+check: vet race bench-smoke
+
+# Quick-scale run of the extension figures. The BENCH_*.json files land
+# at the repo root so the perf trajectory is versioned with the code,
+# not just buried in CI artifacts.
+bench-smoke:
+	$(GO) run ./cmd/lsmio-bench -fig ext-nvme -scale quick -json . -q
+	$(GO) run ./cmd/lsmio-bench -fig ext-burst -scale quick -json . -q
+	$(GO) run ./cmd/lsmio-bench -fig ext-degraded -scale quick -json . -q
+	$(GO) run ./cmd/lsmio-bench -fig ext-compaction -scale quick -json . -q
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

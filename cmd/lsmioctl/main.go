@@ -98,10 +98,12 @@ func main() {
 			c.BytesPut, c.BytesGot, c.Barriers, c.BarrierTime)
 		s := mgr.EngineStats()
 		fmt.Printf("engine:  puts=%d deletes=%d gets=%d\n", s.Puts, s.Deletes, s.Gets)
-		fmt.Printf("engine:  flushes=%d bytesFlushed=%d compactions=%d bytesCompacted=%d\n",
-			s.Flushes, s.BytesFlushed, s.Compactions, s.BytesCompacted)
-		fmt.Printf("engine:  walBytes=%d stalls=%d cache hits/misses=%d/%d\n",
-			s.WALBytes, s.StallWaits, s.CacheHits, s.CacheMisses)
+		fmt.Printf("engine:  flushes=%d bytesFlushed=%d compactions=%d bytesCompacted=%d subcompactions=%d\n",
+			s.Flushes, s.BytesFlushed, s.Compactions, s.BytesCompacted, s.Subcompactions)
+		fmt.Printf("engine:  walBytes=%d cache hits/misses=%d/%d\n",
+			s.WALBytes, s.CacheHits, s.CacheMisses)
+		fmt.Printf("engine:  stalls=%d stallMicros=%d slowdowns=%d slowdownMicros=%d\n",
+			s.StallWaits, s.StallMicros, s.SlowdownWaits, s.SlowdownMicros)
 		if err := mgr.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "lsmioctl:", err)
 			os.Exit(1)

@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"bytes"
+	"sort"
 )
 
 // Leveled compaction, LevelDB-style: L0 tables (which may overlap) are
@@ -11,6 +12,16 @@ import (
 // configuration disables all of this — checkpoints are write-once — but the
 // engine implements it fully for general workloads and the ablation
 // benchmarks.
+//
+// Background work is admission-controlled by a scheduler that runs up to
+// Options.MaxBackgroundJobs workers at once. Each worker owns one
+// compaction at a time, reserved through a versionSet claim: no two
+// running compactions may share an input file or overlap key ranges on a
+// level they both touch, so concurrent version edits stay exact and the
+// output files of a level remain disjoint. Memtable flushes run on their
+// own worker (db.flushing) and never queue behind compactions. A wide
+// merge is additionally split into key-range subcompactions executed in
+// parallel and stitched back in shard order.
 
 // maxBytesForLevel returns the size target of a level.
 func (db *DB) maxBytesForLevel(level int) int64 {
@@ -47,61 +58,151 @@ func (db *DB) needsCompactionLocked() bool {
 	return false
 }
 
-// maybeScheduleCompaction starts the background compactor when needed.
-// Called with the lock held.
-func (db *DB) maybeScheduleCompaction() {
-	if db.compacting || db.closed || !db.needsCompactionLocked() {
-		return
+// compactionDebtLocked estimates the pending compaction backlog: bytes
+// above each level's size target plus the L0 bytes beyond the trigger.
+// The slowdown tier compares it against SoftPendingCompactionBytes.
+func (db *DB) compactionDebtLocked() int64 {
+	v := db.vs.current
+	var debt int64
+	if extra := len(v.levels[0]) - db.opts.L0CompactionTrigger; extra > 0 {
+		files := v.levels[0]
+		for _, f := range files[:extra] {
+			debt += f.size
+		}
 	}
-	db.compacting = true
-	db.plat.Go("lsm-compact", db.backgroundCompact)
+	for l := 1; l < numLevels-1; l++ {
+		if over := v.levelBytes(l) - db.maxBytesForLevel(l); over > 0 {
+			debt += over
+		}
+	}
+	return debt
 }
 
-func (db *DB) backgroundCompact() {
+// compactionJob is one unit of background work handed to a worker, with
+// its versionSet reservation.
+type compactionJob struct {
+	level    int
+	inputs   []*fileMeta // level `level`
+	overlaps []*fileMeta // level `level+1`
+	claim    *compactionClaim
+}
+
+// admissibleLocked reports whether a candidate compaction is disjoint
+// from every running one: none of its files claimed, and its key span
+// free on both levels it touches.
+func (db *DB) admissibleLocked(level int, inputs, overlaps []*fileMeta) bool {
+	for _, f := range inputs {
+		if db.vs.fileClaimed(f.num) {
+			return false
+		}
+	}
+	for _, f := range overlaps {
+		if db.vs.fileClaimed(f.num) {
+			return false
+		}
+	}
+	all := append(append([]*fileMeta(nil), inputs...), overlaps...)
+	lo, hi := keyRange(all)
+	return !db.vs.rangeClaimed(level, lo, hi) && !db.vs.rangeClaimed(level+1, lo, hi)
+}
+
+// maybeScheduleCompaction spawns compaction workers up to the
+// MaxBackgroundJobs cap while admissible work exists. Called with the
+// lock held.
+func (db *DB) maybeScheduleCompaction() {
+	if db.closed || db.bgErr != nil || db.manualCompaction {
+		return
+	}
+	for db.compactionsInFlight < db.opts.MaxBackgroundJobs {
+		job := db.pickAndClaimLocked()
+		if job == nil {
+			return
+		}
+		db.compactionsInFlight++
+		db.plat.Go("lsm-compact", func() { db.compactionWorker(job) })
+	}
+}
+
+// compactionWorker runs claimed jobs until none remain admissible.
+func (db *DB) compactionWorker(job *compactionJob) {
 	db.plat.Lock()
-	for db.needsCompactionLocked() && db.bgErr == nil && !db.closed {
-		if err := db.compactOnceLocked(); err != nil {
+	for job != nil {
+		err := db.runCompactionLocked(job.level, job.inputs, job.overlaps)
+		db.vs.releaseCompaction(job.claim)
+		if err != nil {
 			db.bgErr = err
 			break
 		}
+		// Releasing the claim may have unblocked work beyond what this
+		// worker can take; let the scheduler top the pool back up.
+		db.maybeScheduleCompaction()
+		job = db.pickAndClaimLocked()
 	}
-	db.compacting = false
+	db.compactionsInFlight--
 	db.plat.Signal()
 	db.plat.Unlock()
 }
 
-// pickCompaction chooses inputs. Called with the lock held.
+// pickAndClaimLocked selects the next admissible compaction and reserves
+// its inputs. Returns nil when no work may start.
+func (db *DB) pickAndClaimLocked() *compactionJob {
+	if db.closed || db.bgErr != nil || db.manualCompaction || db.opts.DisableCompaction {
+		return nil
+	}
+	level, inputs, overlaps := db.pickCompaction()
+	if level < 0 {
+		return nil
+	}
+	all := append(append([]*fileMeta(nil), inputs...), overlaps...)
+	return &compactionJob{
+		level:    level,
+		inputs:   inputs,
+		overlaps: overlaps,
+		claim:    db.vs.claimCompaction(level, all),
+	}
+}
+
+// pickCompaction chooses inputs among the candidates disjoint from all
+// running compactions. Called with the lock held.
 func (db *DB) pickCompaction() (level int, inputs, overlaps []*fileMeta) {
 	v := db.vs.current
 	if len(v.levels[0]) >= db.opts.L0CompactionTrigger {
 		// Take every L0 file (they may all overlap) plus the L1 files
-		// their combined range touches.
-		inputs = append(inputs, v.levels[0]...)
+		// their combined range touches. At most one L0 compaction runs at
+		// a time — a second candidate's span always collides with it.
+		inputs = append([]*fileMeta(nil), v.levels[0]...)
 		lo, hi := keyRange(inputs)
 		overlaps = v.overlapping(1, lo, hi)
-		return 0, inputs, overlaps
+		if db.admissibleLocked(0, inputs, overlaps) {
+			return 0, inputs, overlaps
+		}
 	}
 	for l := 1; l < numLevels-1; l++ {
 		if v.levelBytes(l) <= db.maxBytesForLevel(l) {
 			continue
 		}
-		// Round-robin: first file after the last compaction's end point.
+		// Round-robin: first file after the last compaction's end point,
+		// then (only when that candidate is busy) each later file in turn.
 		files := v.levels[l]
-		var pick *fileMeta
-		ptr := db.vs.compactPointer[l]
-		for _, f := range files {
-			if !ptr.valid() || compareIKeys(f.largest, ptr) > 0 {
-				pick = f
-				break
+		start := 0
+		if ptr := db.vs.compactPointer[l]; ptr.valid() {
+			start = len(files)
+			for i, f := range files {
+				if compareIKeys(f.largest, ptr) > 0 {
+					start = i
+					break
+				}
 			}
 		}
-		if pick == nil {
-			pick = files[0]
+		for k := 0; k < len(files); k++ {
+			pick := files[(start+k)%len(files)]
+			in := []*fileMeta{pick}
+			lo, hi := keyRange(in)
+			ov := v.overlapping(l+1, lo, hi)
+			if db.admissibleLocked(l, in, ov) {
+				return l, in, ov
+			}
 		}
-		inputs = []*fileMeta{pick}
-		lo, hi := keyRange(inputs)
-		overlaps = v.overlapping(l+1, lo, hi)
-		return l, inputs, overlaps
 	}
 	return -1, nil, nil
 }
@@ -119,18 +220,96 @@ func keyRange(files []*fileMeta) (lo, hi []byte) {
 	return lo, hi
 }
 
-// compactOnceLocked runs one compaction step. The lock is released around
-// the merge I/O.
-func (db *DB) compactOnceLocked() error {
-	level, inputs, overlaps := db.pickCompaction()
-	if level < 0 {
+// shardRange is one subcompaction's half-open user-key slice
+// [lower, upper); nil means unbounded.
+type shardRange struct {
+	lower, upper []byte
+}
+
+// contains reports whether a user key falls in the shard.
+func (s shardRange) contains(uk []byte) bool {
+	if s.lower != nil && bytes.Compare(uk, s.lower) < 0 {
+		return false
+	}
+	if s.upper != nil && bytes.Compare(uk, s.upper) >= 0 {
+		return false
+	}
+	return true
+}
+
+// filesForShard keeps the input files that can hold keys of the shard.
+func filesForShard(files []*fileMeta, s shardRange) []*fileMeta {
+	var out []*fileMeta
+	for _, f := range files {
+		if s.lower != nil && bytes.Compare(f.largest.userKey(), s.lower) < 0 {
+			continue
+		}
+		if s.upper != nil && bytes.Compare(f.smallest.userKey(), s.upper) >= 0 {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// planSubcompactions splits a merge over `all` into up to
+// MaxBackgroundJobs key-range shards, using the input files' smallest
+// keys as boundaries (they are cheap, deterministic, and — on the sorted
+// output level — align shards with existing file edges). Returns nil when
+// the merge should run unsharded; every user key belongs to exactly one
+// shard, so per-key shadowing and tombstone logic is unaffected.
+func (db *DB) planSubcompactions(all []*fileMeta) []shardRange {
+	n := db.opts.MaxBackgroundJobs
+	if n <= 1 || len(all) < 2 {
 		return nil
 	}
-	return db.runCompactionLocked(level, inputs, overlaps)
+	var cands [][]byte
+	for _, f := range all {
+		cands = append(cands, f.smallest.userKey())
+	}
+	sort.Slice(cands, func(i, j int) bool { return bytes.Compare(cands[i], cands[j]) < 0 })
+	uniq := cands[:0]
+	for i, c := range cands {
+		if i > 0 && bytes.Equal(c, uniq[len(uniq)-1]) {
+			continue
+		}
+		uniq = append(uniq, c)
+	}
+	// The global smallest key is not a useful boundary: everything below
+	// it is empty.
+	if len(uniq) > 0 {
+		uniq = uniq[1:]
+	}
+	if len(uniq) == 0 {
+		return nil
+	}
+	shards := n
+	if shards > len(uniq)+1 {
+		shards = len(uniq) + 1
+	}
+	if shards <= 1 {
+		return nil
+	}
+	out := make([]shardRange, 0, shards)
+	var lower []byte
+	for i := 1; i < shards; i++ {
+		b := uniq[i*len(uniq)/shards]
+		if lower != nil && bytes.Compare(b, lower) <= 0 {
+			continue
+		}
+		out = append(out, shardRange{lower: lower, upper: b})
+		lower = b
+	}
+	out = append(out, shardRange{lower: lower})
+	if len(out) <= 1 {
+		return nil
+	}
+	return out
 }
 
 // runCompactionLocked merges inputs (level) + overlaps (level+1) into new
-// tables at level+1.
+// tables at level+1, splitting the merge into parallel subcompactions
+// when the worker pool allows.
 func (db *DB) runCompactionLocked(level int, inputs, overlaps []*fileMeta) error {
 	outLevel := level + 1
 	all := append(append([]*fileMeta(nil), inputs...), overlaps...)
@@ -145,26 +324,44 @@ func (db *DB) runCompactionLocked(level int, inputs, overlaps []*fileMeta) error
 		}
 	}
 	smallestSnapshot := db.smallestSnapshotLocked()
+	shards := db.planSubcompactions(all)
 	// The number of output tables is unknown up front, so the merge
 	// re-takes the lock briefly for each file-number allocation and marks
 	// each output pending so the obsolete-file sweep leaves it alone.
 	var outNums []uint64
-	db.plat.Unlock()
-	metas, err := db.mergeTables(level, all, dropTombstones, smallestSnapshot, func() uint64 {
+	alloc := func() uint64 {
 		db.plat.Lock()
 		defer db.plat.Unlock()
 		n := db.vs.newFileNum()
 		db.pendingOutputs[n] = true
 		outNums = append(outNums, n)
 		return n
-	})
-	db.plat.Lock()
+	}
+	var metas []tableMeta
+	var err error
+	if len(shards) <= 1 {
+		db.plat.Unlock()
+		metas, err = db.mergeTables(all, shardRange{}, dropTombstones, smallestSnapshot, alloc)
+		db.plat.Lock()
+	} else {
+		metas, err = db.runSubcompactionsLocked(all, shards, dropTombstones, smallestSnapshot, alloc)
+	}
 	defer func() {
 		for _, n := range outNums {
 			delete(db.pendingOutputs, n)
 		}
 	}()
 	if err != nil {
+		// Nothing references the outputs; drop them rather than leaving
+		// orphan SSTables for a sweep that may never run (bgErr stops
+		// background work).
+		for _, n := range outNums {
+			if t, ok := db.tables[n]; ok {
+				t.close()
+				delete(db.tables, n)
+			}
+			db.fs.Remove(tableFileName(db.dir, n))
+		}
 		return err
 	}
 	edit := &versionEdit{}
@@ -197,25 +394,86 @@ func (db *DB) runCompactionLocked(level int, inputs, overlaps []*fileMeta) error
 	return nil
 }
 
+// runSubcompactionsLocked fans the merge out over key-range shards: shard
+// 0 runs on the calling worker, the rest on freshly spawned platform
+// tasks, and the output tables are stitched back together in shard order
+// (the shards partition the user-key space, so concatenation preserves
+// the output level's sort invariant). Called with the lock held; the lock
+// is released around the merges. Any shard error fails the whole
+// compaction — the caller deletes every allocated output.
+func (db *DB) runSubcompactionsLocked(all []*fileMeta, shards []shardRange, dropTombstones bool, smallestSnapshot seqNum, alloc func() uint64) ([]tableMeta, error) {
+	metas := make([][]tableMeta, len(shards))
+	errs := make([]error, len(shards))
+	pending := len(shards) - 1
+	db.stats.Subcompactions += int64(len(shards))
+	for i := 1; i < len(shards); i++ {
+		i := i
+		db.plat.Go("lsm-subcompact", func() {
+			metas[i], errs[i] = db.mergeTables(
+				filesForShard(all, shards[i]), shards[i], dropTombstones, smallestSnapshot, alloc)
+			db.plat.Lock()
+			pending--
+			db.plat.Signal()
+			db.plat.Unlock()
+		})
+	}
+	db.plat.Unlock()
+	metas[0], errs[0] = db.mergeTables(
+		filesForShard(all, shards[0]), shards[0], dropTombstones, smallestSnapshot, alloc)
+	db.plat.Lock()
+	for pending > 0 {
+		db.plat.WaitCond()
+	}
+	var out []tableMeta
+	for i := range shards {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, metas[i]...)
+	}
+	return out, nil
+}
+
 // mergeTables merge-sorts the input tables into new output tables,
 // keeping the newest entry per user key plus any older versions still
-// visible to a snapshot at or above smallestSnapshot. Called without the
-// lock.
-func (db *DB) mergeTables(level int, inputs []*fileMeta, dropTombstones bool, smallestSnapshot seqNum, allocNum func() uint64) ([]tableMeta, error) {
+// visible to a snapshot at or above smallestSnapshot. Only user keys
+// inside shard are emitted (the zero shardRange is unbounded). Called
+// without the lock.
+//
+// Every error return cleans up after itself: already-opened child
+// iterators are closed if table opening fails midway, the in-progress
+// output file is closed and deleted, and the merging iterator's own
+// close error is propagated rather than swallowed.
+func (db *DB) mergeTables(inputs []*fileMeta, shard shardRange, dropTombstones bool, smallestSnapshot seqNum, allocNum func() uint64) (metas []tableMeta, err error) {
 	children := make([]internalIterator, 0, len(inputs))
 	for _, fm := range inputs {
-		t, err := db.getTable(fm.num)
-		if err != nil {
-			return nil, err
+		t, terr := db.getTable(fm.num)
+		if terr != nil {
+			for _, c := range children {
+				c.Close()
+			}
+			return nil, terr
 		}
 		children = append(children, t.iterator())
 	}
 	merge := newMergingIterator(children)
-	defer merge.Close()
 
-	var metas []tableMeta
 	var w *tableWriter
 	var outFile interface{ Close() error }
+	var outName string
+	defer func() {
+		if cerr := merge.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err != nil {
+			if w != nil {
+				outFile.Close()
+				db.fs.Remove(outName)
+			}
+			metas = nil
+		}
+	}()
+
 	var lastUser []byte
 	haveLast := false
 	// lastSeqForKey is the sequence of the previous kept entry for the
@@ -232,6 +490,8 @@ func (db *DB) mergeTables(level int, inputs []*fileMeta, dropTombstones bool, sm
 			return err
 		}
 		if err := outFile.Close(); err != nil {
+			w = nil // already closed; don't double-close in the deferred cleanup
+			db.fs.Remove(outName)
 			return err
 		}
 		metas = append(metas, meta)
@@ -242,6 +502,12 @@ func (db *DB) mergeTables(level int, inputs []*fileMeta, dropTombstones bool, sm
 	for merge.SeekToFirst(); merge.Valid(); merge.Next() {
 		ik := merge.IKey()
 		uk := ik.userKey()
+		if shard.upper != nil && bytes.Compare(uk, shard.upper) >= 0 {
+			break // inputs are sorted; nothing further belongs to this shard
+		}
+		if !shard.contains(uk) {
+			continue
+		}
 		if !haveLast || !bytes.Equal(uk, lastUser) {
 			lastUser = append(lastUser[:0], uk...)
 			haveLast = true
@@ -263,12 +529,13 @@ func (db *DB) mergeTables(level int, inputs []*fileMeta, dropTombstones bool, sm
 		}
 		if w == nil {
 			num := allocNum()
-			f, err := db.fs.Create(tableFileName(db.dir, num))
-			if err != nil {
-				return nil, err
+			name := tableFileName(db.dir, num)
+			f, ferr := db.fs.Create(name)
+			if ferr != nil {
+				return nil, ferr
 			}
 			w = newTableWriter(f, &db.opts, num)
-			outFile = f
+			outFile, outName = f, name
 		}
 		w.add(ik, merge.Value())
 		if w.offset >= target {
@@ -284,13 +551,10 @@ func (db *DB) mergeTables(level int, inputs []*fileMeta, dropTombstones bool, sm
 }
 
 // compactEverythingLocked repeatedly compacts until all data sits in one
-// level. Called with the lock held (and compacting known false).
+// level. Called with the lock held, manualCompaction set, and no
+// background compaction in flight — the caller owns all compaction state,
+// so no claims are needed.
 func (db *DB) compactEverythingLocked() error {
-	db.compacting = true
-	defer func() {
-		db.compacting = false
-		db.plat.Signal()
-	}()
 	for {
 		v := db.vs.current
 		// Find the shallowest non-empty level; stop when only one level

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"lsmio/internal/vfs"
 )
@@ -36,7 +37,22 @@ type Stats struct {
 	BytesFlushed   int64
 	BytesCompacted int64
 	WALBytes       int64
-	StallWaits     int64
+	// StallWaits counts hard write-stall EPISODES: contiguous periods a
+	// writer spent blocked on the flush backlog or the L0 stop trigger.
+	// (It used to count condvar wakeups, which inflated one episode by
+	// the number of Broadcast deliveries.)
+	StallWaits int64
+	// StallMicros is the cumulative duration of those episodes, in
+	// microseconds (virtual time on the simulated platform).
+	StallMicros int64
+	// SlowdownWaits counts writes delayed by the soft admission-control
+	// tier (L0SlowdownTrigger / SoftPendingCompactionBytes), and
+	// SlowdownMicros their cumulative delay in microseconds.
+	SlowdownWaits  int64
+	SlowdownMicros int64
+	// Subcompactions counts key-range shards executed by split merges
+	// (0 unless MaxBackgroundJobs > 1).
+	Subcompactions int64
 	CacheHits      int64
 	CacheMisses    int64
 }
@@ -68,10 +84,15 @@ type DB struct {
 	// sweeper must not delete them.
 	pendingOutputs map[uint64]bool
 	flushing       bool
-	compacting     bool
-	closed         bool
-	bgErr          error
-	stats          Stats
+	// compactionsInFlight is the number of running background compaction
+	// workers (bounded by Options.MaxBackgroundJobs); their input
+	// reservations live in vs.claims. manualCompaction marks an exclusive
+	// CompactAll in progress, which background workers yield to.
+	compactionsInFlight int
+	manualCompaction    bool
+	closed              bool
+	bgErr               error
+	stats               Stats
 	// snapshots are the live Snapshot handles; compaction keeps entry
 	// versions the oldest of them can still observe.
 	snapshots []*Snapshot
@@ -287,22 +308,63 @@ func (db *DB) Apply(b *Batch) error {
 	return err
 }
 
-// makeRoomForWrite rotates a full memtable, stalling if the flush backlog
-// is at its limit. Called with the lock held.
+// makeRoomForWrite rotates a full memtable, admission-controlling the
+// writer against the background backlog. Two tiers: a soft slowdown (one
+// bounded delay per write once L0 or the compaction debt crosses its soft
+// threshold) smooths the approach, and the hard stall (flush backlog at
+// its limit, or L0 at the stop trigger) blocks until background work
+// drains. Stall episodes are counted once and their duration metered.
+// Called with the lock held.
 func (db *DB) makeRoomForWrite() error {
+	allowDelay := !db.opts.DisableCompaction && db.opts.SlowdownDelay > 0
+	var stallStart time.Duration
+	stalled := false
+	endStall := func() {
+		if stalled {
+			db.stats.StallMicros += int64((db.plat.Now() - stallStart) / time.Microsecond)
+			stalled = false
+		}
+	}
 	for {
 		if db.bgErr != nil {
+			endStall()
 			return db.bgErr
 		}
+		if allowDelay && db.writerShouldSlowdownLocked() {
+			// Soft tier: pay one small delay (without the lock, so the
+			// background workers and other writers keep moving) instead
+			// of running full speed into the hard stall. At most once per
+			// write, LevelDB-style, so a single writer is throttled, not
+			// parked.
+			allowDelay = false
+			db.stats.SlowdownWaits++
+			start := db.plat.Now()
+			db.plat.Unlock()
+			db.plat.Sleep(db.opts.SlowdownDelay)
+			db.plat.Lock()
+			db.stats.SlowdownMicros += int64((db.plat.Now() - start) / time.Microsecond)
+			continue
+		}
 		if db.mem.approximateSize() < int64(db.opts.WriteBufferSize) {
+			endStall()
 			return nil
 		}
-		if len(db.imm) >= db.opts.MaxImmutableMemtables {
-			// Write stall: wait for the background flush to drain.
-			db.stats.StallWaits++
+		if len(db.imm) >= db.opts.MaxImmutableMemtables || db.writerMustStopLocked() {
+			// Hard stall: wait for the background work to drain. Ensure
+			// the draining side is actually running before parking.
+			if db.opts.AsyncFlush {
+				db.maybeScheduleFlush()
+			}
+			db.maybeScheduleCompaction()
+			if !stalled {
+				stalled = true
+				db.stats.StallWaits++
+				stallStart = db.plat.Now()
+			}
 			db.plat.WaitCond()
 			continue
 		}
+		endStall()
 		if err := db.rotateMemtable(); err != nil {
 			return err
 		}
@@ -316,6 +378,33 @@ func (db *DB) makeRoomForWrite() error {
 	}
 }
 
+// writerShouldSlowdownLocked reports whether the soft admission-control
+// tier is engaged: the flush backlog one memtable short of its hard
+// limit, L0 close to its stop trigger, or the estimated compaction debt
+// above the soft threshold.
+func (db *DB) writerShouldSlowdownLocked() bool {
+	if db.opts.MaxImmutableMemtables > 1 &&
+		len(db.imm) >= db.opts.MaxImmutableMemtables-1 {
+		return true
+	}
+	if db.opts.L0SlowdownTrigger > 0 &&
+		len(db.vs.current.levels[0]) >= db.opts.L0SlowdownTrigger {
+		return true
+	}
+	if db.opts.SoftPendingCompactionBytes > 0 &&
+		db.compactionDebtLocked() >= db.opts.SoftPendingCompactionBytes {
+		return true
+	}
+	return false
+}
+
+// writerMustStopLocked reports whether L0 has reached the hard stop
+// trigger (only meaningful while compaction can drain it).
+func (db *DB) writerMustStopLocked() bool {
+	return !db.opts.DisableCompaction && db.opts.L0StopTrigger > 0 &&
+		len(db.vs.current.levels[0]) >= db.opts.L0StopTrigger
+}
+
 // rotateMemtable moves the active memtable to the immutable queue and
 // starts a fresh WAL. Called with the lock held.
 func (db *DB) rotateMemtable() error {
@@ -324,10 +413,13 @@ func (db *DB) rotateMemtable() error {
 	return db.newWAL()
 }
 
-// maybeScheduleFlush starts the background flusher if it is not running.
-// Called with the lock held.
+// maybeScheduleFlush starts the background flusher if it is not running
+// and there is something to flush. The emptiness check matters: a no-op
+// flusher still broadcasts on completion, and a waiter that reschedules
+// on every wakeup (WaitBackground) would livelock with it. Called with
+// the lock held.
 func (db *DB) maybeScheduleFlush() {
-	if db.flushing || db.closed {
+	if db.flushing || db.closed || len(db.imm) == 0 {
 		return
 	}
 	db.flushing = true
@@ -617,16 +709,45 @@ func (db *DB) Flush() error {
 
 // CompactAll flushes and then fully compacts the database into a single
 // level, waiting for completion. Used by tests and the ablation benches.
+// It runs exclusively: background workers are fenced off (and drained)
+// first, so the manual walk owns every level.
 func (db *DB) CompactAll() error {
 	if err := db.Flush(); err != nil {
 		return err
 	}
 	db.plat.Lock()
 	defer db.plat.Unlock()
-	for db.compacting {
+	for db.manualCompaction {
 		db.plat.WaitCond()
 	}
-	return db.compactEverythingLocked()
+	db.manualCompaction = true
+	for db.compactionsInFlight > 0 {
+		db.plat.WaitCond()
+	}
+	err := db.compactEverythingLocked()
+	db.manualCompaction = false
+	db.plat.Signal()
+	db.maybeScheduleCompaction()
+	return err
+}
+
+// WaitBackground blocks until all background work has settled: no flush
+// or compaction is running and nothing more is schedulable. It returns
+// the background error, if any. Benchmarks use it to charge the full
+// drain to the measured interval.
+func (db *DB) WaitBackground() error {
+	db.plat.Lock()
+	defer db.plat.Unlock()
+	for db.bgErr == nil && !db.closed &&
+		(db.flushing || db.compactionsInFlight > 0 || db.manualCompaction ||
+			len(db.imm) > 0 || db.needsCompactionLocked()) {
+		if db.opts.AsyncFlush {
+			db.maybeScheduleFlush()
+		}
+		db.maybeScheduleCompaction()
+		db.plat.WaitCond()
+	}
+	return db.bgErr
 }
 
 // NewIterator returns an iterator over a consistent snapshot of the DB.
@@ -715,7 +836,7 @@ func (db *DB) Close() error {
 		db.plat.Unlock()
 		return ErrClosed
 	}
-	for db.flushing || db.compacting {
+	for db.flushing || db.compactionsInFlight > 0 || db.manualCompaction {
 		db.plat.WaitCond()
 	}
 	db.closed = true

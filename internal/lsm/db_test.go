@@ -674,11 +674,9 @@ func TestSizeTriggeredDeepCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Wait for background compaction to settle.
-	db.plat.Lock()
-	for db.compacting {
-		db.plat.WaitCond()
+	if err := db.WaitBackground(); err != nil {
+		t.Fatal(err)
 	}
-	db.plat.Unlock()
 	files := db.NumTableFiles()
 	deep := 0
 	for l := 2; l < len(files); l++ {

@@ -16,6 +16,8 @@
 package lsm
 
 import (
+	"time"
+
 	"lsmio/internal/vfs"
 )
 
@@ -96,6 +98,38 @@ type Options struct {
 	LevelSizeMultiplier int
 	// BaseLevelSize is the target size of L1 in bytes.
 	BaseLevelSize int64
+
+	// MaxBackgroundJobs caps the number of concurrent background
+	// compaction workers (RocksDB's max_background_jobs). Workers run
+	// compactions on disjoint levels/key ranges in parallel, and a wide
+	// merge is split into that many key-range subcompactions. 1 (the
+	// default) reproduces the single-threaded behaviour exactly; the
+	// paper-reproduction configs disable compaction altogether, so this
+	// knob only matters for the general-workload/ablation paths.
+	MaxBackgroundJobs int
+
+	// The write path has two admission-control tiers in front of the hard
+	// stall (the MaxImmutableMemtables backlog wait). Both only engage
+	// when compaction is enabled — with compaction off nothing would ever
+	// drain L0, so slowing writers for it would be pure loss.
+	//
+	// L0SlowdownTrigger is the L0 table count at which each write is
+	// delayed by SlowdownDelay once, smoothing the approach to the stall
+	// cliff (LevelDB's kL0_SlowdownWritesTrigger). 0 picks the default
+	// (8); negative disables the slowdown tier.
+	L0SlowdownTrigger int
+	// L0StopTrigger is the L0 table count at which writers block until
+	// compaction catches up (LevelDB's kL0_StopWritesTrigger). 0 picks
+	// the default (12); negative disables the L0 hard stop.
+	L0StopTrigger int
+	// SlowdownDelay is the per-write pause applied in the slowdown tier.
+	// 0 picks the default (1ms); negative disables delays.
+	SlowdownDelay time.Duration
+	// SoftPendingCompactionBytes additionally engages the slowdown tier
+	// when the estimated compaction debt (bytes above each level's size
+	// target) exceeds it. 0 picks the default (64 MB); negative disables
+	// the debt-based slowdown.
+	SoftPendingCompactionBytes int64
 }
 
 // DefaultOptions returns options resembling LevelDB/RocksDB defaults, on
@@ -114,6 +148,7 @@ func DefaultOptions(fs vfs.FS) Options {
 		L0CompactionTrigger:   4,
 		LevelSizeMultiplier:   10,
 		BaseLevelSize:         10 << 20,
+		MaxBackgroundJobs:     1,
 	}
 }
 
@@ -163,6 +198,21 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.BaseLevelSize <= 0 {
 		out.BaseLevelSize = 10 << 20
+	}
+	if out.MaxBackgroundJobs <= 0 {
+		out.MaxBackgroundJobs = 1
+	}
+	if out.L0SlowdownTrigger == 0 {
+		out.L0SlowdownTrigger = 8
+	}
+	if out.L0StopTrigger == 0 {
+		out.L0StopTrigger = 12
+	}
+	if out.SlowdownDelay == 0 {
+		out.SlowdownDelay = time.Millisecond
+	}
+	if out.SoftPendingCompactionBytes == 0 {
+		out.SoftPendingCompactionBytes = 64 << 20
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -30,18 +31,27 @@ type Platform interface {
 	// this is a no-op (real CPU time is really spent); on the simulated
 	// platform it advances the calling process's virtual clock.
 	Compute(d time.Duration)
+	// Now returns a monotonic reading of the platform clock (wall time on
+	// the real platform, virtual time on the simulator). The engine uses
+	// it to meter write-stall and slowdown durations.
+	Now() time.Duration
+	// Sleep blocks the caller for d without consuming CPU. Must be called
+	// WITHOUT the engine lock held; the write path uses it for slowdown
+	// rate-limiting ahead of the hard stall.
+	Sleep(d time.Duration)
 }
 
 // goPlatform is the production Platform: goroutines and sync primitives.
 type goPlatform struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu    sync.Mutex
+	cond  *sync.Cond
+	start time.Time
 }
 
 // GoPlatform returns a Platform backed by real goroutines. Each call
 // returns an independent instance (one per DB).
 func GoPlatform() Platform {
-	p := &goPlatform{}
+	p := &goPlatform{start: time.Now()}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
@@ -52,6 +62,8 @@ func (p *goPlatform) Unlock()                   { p.mu.Unlock() }
 func (p *goPlatform) WaitCond()                 { p.cond.Wait() }
 func (p *goPlatform) Signal()                   { p.cond.Broadcast() }
 func (p *goPlatform) Compute(time.Duration)     {}
+func (p *goPlatform) Now() time.Duration        { return time.Since(p.start) }
+func (p *goPlatform) Sleep(d time.Duration)     { time.Sleep(d) }
 
 // simPlatform runs the engine inside a discrete-event simulation: background
 // tasks are simulation processes, the lock is a cooperative mutex, and
@@ -61,6 +73,7 @@ type simPlatform struct {
 	locked bool
 	lockW  *sim.Signal // waiters for the lock
 	cond   *sim.Signal // the engine condition variable
+	spawns int         // uniquifies worker names for deterministic traces
 }
 
 // SimPlatform returns a Platform running on kernel k. All engine calls must
@@ -77,8 +90,14 @@ func (p *simPlatform) cur() *sim.Proc {
 	return c
 }
 
+// Go spawns a background worker as a simulation process. With multiple
+// background jobs the same logical task name can be live several times
+// over, so each spawn gets a unique suffix: the kernel's (time, sequence)
+// event order — and with it the whole trajectory — stays deterministic
+// and the deadlock diagnostics stay readable.
 func (p *simPlatform) Go(name string, fn func()) {
-	p.k.Spawn(name, func(*sim.Proc) { fn() })
+	p.spawns++
+	p.k.Spawn(fmt.Sprintf("%s#%d", name, p.spawns), func(*sim.Proc) { fn() })
 }
 
 func (p *simPlatform) Lock() {
@@ -107,6 +126,15 @@ func (p *simPlatform) WaitCond() {
 func (p *simPlatform) Signal() { p.cond.Broadcast() }
 
 func (p *simPlatform) Compute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.cur().Sleep(d)
+}
+
+func (p *simPlatform) Now() time.Duration { return p.k.Now().Duration() }
+
+func (p *simPlatform) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}

@@ -139,6 +139,84 @@ type versionSet struct {
 	// compactPointer remembers where the last size compaction stopped on
 	// each level, for round-robin file selection.
 	compactPointer [numLevels]internalKey
+
+	// claims tracks the in-progress input sets of running compactions, so
+	// the scheduler can admit only disjoint work (LevelDB keeps the
+	// analogous state in Compaction/compact_pointer_; with one background
+	// job the set never holds more than one entry).
+	claims []*compactionClaim
+}
+
+// compactionClaim is one running compaction's reservation: the table
+// files it consumes and the user-key span of its inputs+overlaps on the
+// (input, output) level pair. While claimed, no other compaction may use
+// any of the files, or overlap the span on either affected level — file
+// disjointness keeps version edits exact, span disjointness keeps output
+// key ranges on the shared output level non-overlapping.
+type compactionClaim struct {
+	level  int // input level; outputs land on level+1
+	files  map[uint64]bool
+	lo, hi []byte // inclusive user-key span of all claimed files
+}
+
+// touchesLevel reports whether the claim reads or writes the level.
+func (c *compactionClaim) touchesLevel(level int) bool {
+	return c.level == level || c.level+1 == level
+}
+
+// claimCompaction reserves files for a compaction at level. Caller must
+// hold the DB lock and have verified admissibility first.
+func (vs *versionSet) claimCompaction(level int, files []*fileMeta) *compactionClaim {
+	lo, hi := keyRange(files)
+	c := &compactionClaim{
+		level: level,
+		files: make(map[uint64]bool, len(files)),
+		lo:    append([]byte(nil), lo...),
+		hi:    append([]byte(nil), hi...),
+	}
+	for _, f := range files {
+		c.files[f.num] = true
+	}
+	vs.claims = append(vs.claims, c)
+	return c
+}
+
+// releaseCompaction drops a reservation (on completion or failure).
+func (vs *versionSet) releaseCompaction(c *compactionClaim) {
+	for i, o := range vs.claims {
+		if o == c {
+			vs.claims = append(vs.claims[:i], vs.claims[i+1:]...)
+			return
+		}
+	}
+}
+
+// fileClaimed reports whether any running compaction uses table num.
+func (vs *versionSet) fileClaimed(num uint64) bool {
+	for _, c := range vs.claims {
+		if c.files[num] {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeClaimed reports whether [lo, hi] intersects the span of a running
+// compaction that touches level.
+func (vs *versionSet) rangeClaimed(level int, lo, hi []byte) bool {
+	for _, c := range vs.claims {
+		if !c.touchesLevel(level) {
+			continue
+		}
+		if hi != nil && c.lo != nil && bytes.Compare(hi, c.lo) < 0 {
+			continue
+		}
+		if lo != nil && c.hi != nil && bytes.Compare(lo, c.hi) > 0 {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 func fileName(dir, suffix string, num uint64) string {
