@@ -52,6 +52,7 @@ type Store struct {
 	mgr  *core.Manager
 	keep int
 	pfx  string
+	m    ckptMetrics
 }
 
 // New wraps an LSMIO manager as a checkpoint store.
@@ -60,7 +61,7 @@ func New(mgr *core.Manager, opts Options) *Store {
 	if pfx == "" {
 		pfx = "ckpt"
 	}
-	return &Store{mgr: mgr, keep: opts.Keep, pfx: pfx}
+	return &Store{mgr: mgr, keep: opts.Keep, pfx: pfx, m: newCkptMetrics(mgr.Obs())}
 }
 
 // Manager exposes the underlying LSMIO manager.
@@ -150,6 +151,8 @@ func (c *Checkpoint) Commit() error {
 		return err
 	}
 	c.committed = true
+	c.s.m.commits.Inc()
+	c.s.m.trace.Emitf("ckpt.commit", "step=%d vars=%d", c.step, len(c.vars))
 	return c.s.prune()
 }
 

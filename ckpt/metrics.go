@@ -1,0 +1,44 @@
+package ckpt
+
+import (
+	"lsmio/internal/obs"
+)
+
+// ckptMetrics holds the store's obs instrument handles under the `ckpt.`
+// prefix. They live in the underlying Manager's registry, so one
+// snapshot covers `core.*`, `lsm.*` and `ckpt.*` together, and the
+// quarantine/fallback trace events land in the same ring as the engine's
+// flush/compaction spans.
+type ckptMetrics struct {
+	commits       *obs.Counter
+	quarantines   *obs.Counter
+	unquarantines *obs.Counter
+
+	// restoreFallbacks counts steps RestoreLatest had to skip past
+	// (failed verification on the restore path); a nonzero value after a
+	// restart means the newest checkpoint was lost.
+	restoreFallbacks *obs.Counter
+
+	scrubVerified      *obs.Counter
+	scrubRepaired      *obs.Counter
+	scrubUnrecoverable *obs.Counter
+
+	trace *obs.Trace
+}
+
+func newCkptMetrics(reg *obs.Registry) ckptMetrics {
+	s := reg.Scope("ckpt")
+	return ckptMetrics{
+		commits:       s.Counter("commits"),
+		quarantines:   s.Counter("quarantines"),
+		unquarantines: s.Counter("unquarantines"),
+
+		restoreFallbacks: s.Counter("restore.fallbacks"),
+
+		scrubVerified:      s.Counter("scrub.verified"),
+		scrubRepaired:      s.Counter("scrub.repaired"),
+		scrubUnrecoverable: s.Counter("scrub.unrecoverable"),
+
+		trace: s.Trace(),
+	}
+}

@@ -25,13 +25,23 @@ func (s *Store) quarantinePrefix() string { return s.pfx + "/quarantine/" }
 // (forensics may still recover pieces of it) but Latest, LatestVerified
 // and RestoreLatest will skip it. Reason is stored for operators.
 func (s *Store) Quarantine(step int64, reason string) error {
-	return s.mgr.Put(s.quarantineKey(step), []byte(reason))
+	if err := s.mgr.Put(s.quarantineKey(step), []byte(reason)); err != nil {
+		return err
+	}
+	s.m.quarantines.Inc()
+	s.m.trace.Emitf("ckpt.quarantine", "step=%d reason=%s", step, reason)
+	return nil
 }
 
 // Unquarantine clears a step's quarantine mark (e.g. after a manual
 // repair).
 func (s *Store) Unquarantine(step int64) error {
-	return s.mgr.Del(s.quarantineKey(step))
+	if err := s.mgr.Del(s.quarantineKey(step)); err != nil {
+		return err
+	}
+	s.m.unquarantines.Inc()
+	s.m.trace.Emitf("ckpt.unquarantine", "step=%d", step)
+	return nil
 }
 
 // Quarantined returns every quarantined step with its recorded reason.
@@ -129,10 +139,13 @@ func (s *Store) Scrub() (ScrubReport, error) {
 				return rep, err
 			}
 			rep.Repaired++
+			s.m.scrubRepaired.Inc()
 		case verr == nil:
 			rep.Verified++
+			s.m.scrubVerified.Inc()
 		case errors.Is(verr, ErrCorrupt) || errors.Is(verr, ErrIncomplete):
 			rep.Unrecoverable++
+			s.m.scrubUnrecoverable.Inc()
 			if !wasQuarantined {
 				if err := s.Quarantine(step, verr.Error()); err != nil {
 					return rep, err
@@ -142,6 +155,8 @@ func (s *Store) Scrub() (ScrubReport, error) {
 			return rep, verr
 		}
 	}
+	s.m.trace.Emitf("ckpt.scrub", "steps=%d verified=%d repaired=%d unrecoverable=%d",
+		rep.Steps, rep.Verified, rep.Repaired, rep.Unrecoverable)
 	return rep, nil
 }
 
@@ -171,6 +186,8 @@ func (s *Store) RestoreLatest() (int64, map[string][]byte, error) {
 			if qerr := s.Quarantine(step, rerr.Error()); qerr != nil {
 				return 0, nil, qerr
 			}
+			s.m.restoreFallbacks.Inc()
+			s.m.trace.Emitf("ckpt.restore.fallback", "step=%d err=%v", step, rerr)
 			continue
 		}
 		return 0, nil, rerr

@@ -81,33 +81,11 @@ func main() {
 		return
 	}
 	// Stats goes through the Manager — the operator view matches what an
-	// application linked against the library would see: the Manager's
-	// session counters plus the engine's cumulative statistics.
+	// application linked against the library would see: the unified obs
+	// registry covering the `core.*` session counters and the engine's
+	// cumulative `lsm.*` statistics in one hierarchical snapshot.
 	if flag.Arg(0) == "stats" {
-		mgr, err := lsmio.NewManager("store", lsmio.ManagerOptions{
-			Store: lsmio.StoreOptions{FS: fs},
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lsmioctl:", err)
-			os.Exit(1)
-		}
-		c := mgr.Counters()
-		fmt.Printf("manager: puts=%d gets=%d appends=%d dels=%d remoteOps=%d\n",
-			c.Puts, c.Gets, c.Appends, c.Dels, c.RemoteOps)
-		fmt.Printf("manager: bytesPut=%d bytesGot=%d barriers=%d barrierTime=%v\n",
-			c.BytesPut, c.BytesGot, c.Barriers, c.BarrierTime)
-		s := mgr.EngineStats()
-		fmt.Printf("engine:  puts=%d deletes=%d gets=%d\n", s.Puts, s.Deletes, s.Gets)
-		fmt.Printf("engine:  flushes=%d bytesFlushed=%d compactions=%d bytesCompacted=%d subcompactions=%d\n",
-			s.Flushes, s.BytesFlushed, s.Compactions, s.BytesCompacted, s.Subcompactions)
-		fmt.Printf("engine:  walBytes=%d cache hits/misses=%d/%d\n",
-			s.WALBytes, s.CacheHits, s.CacheMisses)
-		fmt.Printf("engine:  stalls=%d stallMicros=%d slowdowns=%d slowdownMicros=%d\n",
-			s.StallWaits, s.StallMicros, s.SlowdownWaits, s.SlowdownMicros)
-		if err := mgr.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "lsmioctl:", err)
-			os.Exit(1)
-		}
+		statsCmd(fs, flag.Args()[1:])
 		return
 	}
 	// Scrub works at the checkpoint layer: every committed step is

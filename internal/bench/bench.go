@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"lsmio/internal/ior"
+	"lsmio/internal/obs"
 	"lsmio/internal/pfs"
 	"lsmio/internal/sim"
 )
@@ -97,6 +98,23 @@ type Point struct {
 type FigureResult struct {
 	Figure Figure
 	Points []Point
+	// Metrics are per-series (or per-regime, for custom figures) obs
+	// registry snapshots, merged across the sweep's runs. They carry the
+	// per-op latency histograms (p50/p99/p999 in the JSON rendering)
+	// alongside the figure's bandwidth points.
+	Metrics map[string]obs.Snapshot
+}
+
+// addMetrics merges a run's registry snapshot into the figure's metrics
+// under key (counters add, histograms merge bucket-wise).
+func (fr *FigureResult) addMetrics(key string, snap obs.Snapshot) {
+	if fr.Metrics == nil {
+		fr.Metrics = make(map[string]obs.Snapshot)
+	}
+	if prev, ok := fr.Metrics[key]; ok {
+		snap = prev.Merge(snap)
+	}
+	fr.Metrics[key] = snap
 }
 
 // Check is a shape assertion from the paper's text, with a tolerance band.
@@ -173,6 +191,7 @@ func RunFigure(f Figure, scale Scale, progress func(string)) (*FigureResult, err
 					if f.Phase == PhaseRead {
 						bw = res.ReadBW
 					}
+					fr.addMetrics(s.Name, cluster.Obs().Snapshot())
 					fr.Points = append(fr.Points, Point{
 						Series:      s.Name,
 						Transfer:    transfer,
@@ -326,11 +345,18 @@ func (fr *FigureResult) JSON() ([]byte, error) {
 		Error  string  `json:"error,omitempty"`
 	}
 	doc := struct {
-		Figure string      `json:"figure"`
-		Title  string      `json:"title"`
-		Points []jsonPoint `json:"points"`
-		Checks []jsonCheck `json:"checks,omitempty"`
+		Figure  string         `json:"figure"`
+		Title   string         `json:"title"`
+		Points  []jsonPoint    `json:"points"`
+		Checks  []jsonCheck    `json:"checks,omitempty"`
+		Metrics map[string]any `json:"metrics,omitempty"`
 	}{Figure: fr.Figure.ID, Title: fr.Figure.Title}
+	if len(fr.Metrics) > 0 {
+		doc.Metrics = make(map[string]any, len(fr.Metrics))
+		for key, snap := range fr.Metrics {
+			doc.Metrics[key] = snap.Tree()
+		}
+	}
 	for _, p := range fr.Points {
 		doc.Points = append(doc.Points, jsonPoint{
 			Series:      p.Series,

@@ -8,6 +8,7 @@ import (
 	"lsmio/internal/burst"
 	"lsmio/internal/core"
 	"lsmio/internal/lsm"
+	"lsmio/internal/obs"
 	"lsmio/internal/pfs"
 	"lsmio/internal/sim"
 	"lsmio/internal/vfs"
@@ -66,20 +67,22 @@ func runBurstFigure(f Figure, scale Scale, progress func(string)) (*FigureResult
 		// Calibrate the compute phase per node count: 1.2× the probe's
 		// per-step synchronous stall, so compute roughly covers a
 		// step's drain and the overlap claim is actually exercised.
-		probeStall, _, err := runBurstSync(nodes, scale, 0)
+		probeStall, _, _, err := runBurstSync(nodes, scale, 0)
 		if err != nil {
 			return nil, fmt.Errorf("ext-burst probe n=%d: %w", nodes, err)
 		}
 		compute := time.Duration(1.2 * float64(probeStall) / burstSteps)
 
-		syncStall, syncTotal, err := runBurstSync(nodes, scale, compute)
+		syncStall, syncTotal, syncSnap, err := runBurstSync(nodes, scale, compute)
 		if err != nil {
 			return nil, fmt.Errorf("ext-burst sync n=%d: %w", nodes, err)
 		}
-		stagedStall, durableTotal, err := runBurstStaged(nodes, scale, compute)
+		stagedStall, durableTotal, stagedSnap, err := runBurstStaged(nodes, scale, compute)
 		if err != nil {
 			return nil, fmt.Errorf("ext-burst staged n=%d: %w", nodes, err)
 		}
+		fr.addMetrics("sync", syncSnap)
+		fr.addMetrics("burst", stagedSnap)
 
 		bytes := float64(int64(nodes) * scale.PerRankBytes * burstSteps)
 		for _, m := range []struct {
@@ -133,8 +136,9 @@ func writeBurstStep(p *sim.Proc, tp ckpt.TwoPhase, step int64, perRank int64) (t
 
 // runBurstSync runs the synchronous baseline: every rank checkpoints
 // straight into a PFS-backed store. Returns the worst rank's summed
-// commit stall and the end-to-end completion time.
-func runBurstSync(nodes int, scale Scale, compute time.Duration) (time.Duration, time.Duration, error) {
+// commit stall, the end-to-end completion time and the cluster's
+// registry snapshot.
+func runBurstSync(nodes int, scale Scale, compute time.Duration) (time.Duration, time.Duration, obs.Snapshot, error) {
 	k := sim.NewKernel()
 	cluster := pfs.NewCluster(k, pfs.VikingConfig(nodes))
 	stalls := make([]time.Duration, nodes)
@@ -175,23 +179,29 @@ func runBurstSync(nodes int, scale Scale, compute time.Duration) (time.Duration,
 		})
 	}
 	if err := k.Run(); err != nil {
-		return 0, 0, err
+		return 0, 0, obs.Snapshot{}, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, obs.Snapshot{}, err
 		}
 	}
-	return maxDuration(stalls), total, nil
+	return maxDuration(stalls), total, cluster.Obs().Snapshot(), nil
 }
 
 // runBurstStaged runs the staging tier: every rank checkpoints into an
 // in-memory staging store, and a background worker drains to the same
 // PFS-backed store the sync run used. Returns the worst rank's summed
-// staged-commit stall and the time the last rank reached durable.
-func runBurstStaged(nodes int, scale Scale, compute time.Duration) (time.Duration, time.Duration, error) {
+// staged-commit stall, the time the last rank reached durable and the
+// run's registry snapshot (the cluster's `pfs.*` instruments merged
+// with the ranks' shared `burst.*` tier instruments).
+func runBurstStaged(nodes int, scale Scale, compute time.Duration) (time.Duration, time.Duration, obs.Snapshot, error) {
 	k := sim.NewKernel()
 	cluster := pfs.NewCluster(k, pfs.VikingConfig(nodes))
+	// One registry shared by every rank's tier, so the drain counters and
+	// lag histogram aggregate across the whole run.
+	tierReg := obs.NewRegistry()
+	tierReg.SetClock(func() time.Duration { return k.Now().Duration() })
 	stalls := make([]time.Duration, nodes)
 	errs := make([]error, nodes)
 	var durable time.Duration
@@ -225,7 +235,7 @@ func runBurstStaged(nodes int, scale Scale, compute time.Duration) (time.Duratio
 				tier := burst.New(
 					ckpt.New(smgr, ckpt.Options{}),
 					ckpt.New(dmgr, ckpt.Options{}),
-					burst.Options{StagingBudget: 4 * scale.PerRankBytes, Kernel: k},
+					burst.Options{StagingBudget: 4 * scale.PerRankBytes, Kernel: k, Obs: tierReg},
 				)
 				tier.StartWorker()
 				tp := tier.TwoPhase()
@@ -256,14 +266,14 @@ func runBurstStaged(nodes int, scale Scale, compute time.Duration) (time.Duratio
 		})
 	}
 	if err := k.Run(); err != nil {
-		return 0, 0, err
+		return 0, 0, obs.Snapshot{}, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, obs.Snapshot{}, err
 		}
 	}
-	return maxDuration(stalls), durable, nil
+	return maxDuration(stalls), durable, cluster.Obs().Snapshot().Merge(tierReg.Snapshot()), nil
 }
 
 func maxDuration(ds []time.Duration) time.Duration {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lsmio/internal/lsm"
+	"lsmio/internal/obs"
 	"lsmio/internal/pfs"
 	"lsmio/internal/sim"
 )
@@ -74,14 +75,16 @@ func runCompactionFigure(f Figure, scale Scale, progress func(string)) (*FigureR
 	fr := &FigureResult{Figure: f}
 	totalBytes := 4 * scale.PerRankBytes
 	for _, jobs := range []int{1, 2, 4} {
-		smoothTotal, smoothP99, err := runCompactionWorkload(scale, jobs, true)
+		smoothTotal, smoothP99, smoothSnap, err := runCompactionWorkload(scale, jobs, true)
 		if err != nil {
 			return nil, fmt.Errorf("ext-compaction jobs=%d smooth: %w", jobs, err)
 		}
-		_, hardP99, err := runCompactionWorkload(scale, jobs, false)
+		_, hardP99, hardSnap, err := runCompactionWorkload(scale, jobs, false)
 		if err != nil {
 			return nil, fmt.Errorf("ext-compaction jobs=%d hard: %w", jobs, err)
 		}
+		fr.addMetrics(fmt.Sprintf("jobs-%d-smooth", jobs), smoothSnap)
+		fr.addMetrics(fmt.Sprintf("jobs-%d-hard", jobs), hardSnap)
 		for _, m := range []struct {
 			series string
 			bytes  float64
@@ -112,8 +115,9 @@ func runCompactionFigure(f Figure, scale Scale, progress func(string)) (*FigureR
 
 // runCompactionWorkload drives one overwrite-heavy workload on the
 // simulated cluster and returns the end-to-end virtual time (including
-// the final background drain) and the p99 Put latency.
-func runCompactionWorkload(scale Scale, jobs int, smooth bool) (time.Duration, time.Duration, error) {
+// the final background drain), the p99 Put latency and the engine's
+// registry snapshot (flush/compaction/stall instruments).
+func runCompactionWorkload(scale Scale, jobs int, smooth bool) (time.Duration, time.Duration, obs.Snapshot, error) {
 	k := sim.NewKernel()
 	cluster := pfs.NewCluster(k, pfs.VikingConfig(1))
 	// A fixed 64 puts per memtable keeps the stall frequency (one
@@ -124,6 +128,7 @@ func runCompactionWorkload(scale Scale, jobs int, smooth bool) (time.Duration, t
 	keyspace := totalPuts / 2 // every key overwritten ~twice: compaction debt
 
 	var total, p99 time.Duration
+	var snap obs.Snapshot
 	var runErr error
 	k.Spawn("lsm-writer", func(p *sim.Proc) {
 		runErr = func() error {
@@ -171,11 +176,12 @@ func runCompactionWorkload(scale Scale, jobs int, smooth bool) (time.Duration, t
 			total = p.Now().Duration()
 			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 			p99 = lats[(len(lats)*99)/100]
+			snap = db.Obs().Snapshot()
 			return db.Close()
 		}()
 	})
 	if err := k.Run(); err != nil {
-		return 0, 0, err
+		return 0, 0, obs.Snapshot{}, err
 	}
-	return total, p99, runErr
+	return total, p99, snap, runErr
 }

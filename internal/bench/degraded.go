@@ -9,6 +9,7 @@ import (
 	"lsmio/ckpt"
 	"lsmio/internal/core"
 	"lsmio/internal/lsm"
+	"lsmio/internal/obs"
 	"lsmio/internal/pfs"
 	"lsmio/internal/resil"
 	"lsmio/internal/sim"
@@ -92,10 +93,11 @@ func runDegradedFigure(f Figure, scale Scale, progress func(string)) (*FigureRes
 	}
 	for _, nodes := range scale.Nodes {
 		for _, m := range modes {
-			total, p99, err := runDegradedMode(nodes, scale, m)
+			total, p99, snap, err := runDegradedMode(nodes, scale, m)
 			if err != nil {
 				return nil, fmt.Errorf("ext-degraded %s n=%d: %w", m.name, nodes, err)
 			}
+			fr.addMetrics(m.name, snap)
 			if total <= 0 || p99 <= 0 {
 				return nil, fmt.Errorf("ext-degraded %s n=%d: zero latency", m.name, nodes)
 			}
@@ -145,7 +147,7 @@ func degradedClusterConfig(nodes int) pfs.Config {
 // all ranks. In dead mode it also validates the recovery story:
 // RestoreLatest on every rank's store (degraded reads), a scrub that
 // rebuilds the lost stripes onto spares, and a clean re-read after.
-func runDegradedMode(nodes int, scale Scale, m degradedMode) (time.Duration, time.Duration, error) {
+func runDegradedMode(nodes int, scale Scale, m degradedMode) (time.Duration, time.Duration, obs.Snapshot, error) {
 	k := sim.NewKernel()
 	cluster := pfs.NewCluster(k, degradedClusterConfig(nodes))
 	cluster.EnableResilience(pfs.Resilience{
@@ -202,13 +204,15 @@ func runDegradedMode(nodes int, scale Scale, m degradedMode) (time.Duration, tim
 		})
 	}
 	if err := k.Run(); err != nil {
-		return 0, 0, err
+		return 0, 0, obs.Snapshot{}, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, obs.Snapshot{}, err
 		}
 	}
+	// Snapshot the measured window before validation/teardown I/O runs.
+	snap := cluster.Obs().Snapshot()
 
 	// Validation and teardown run in a second simulation pass so they
 	// never pollute the measured window.
@@ -232,12 +236,12 @@ func runDegradedMode(nodes int, scale Scale, m degradedMode) (time.Duration, tim
 		}()
 	})
 	if err := k.Run(); err != nil {
-		return 0, 0, err
+		return 0, 0, obs.Snapshot{}, err
 	}
 	if vErr != nil {
-		return 0, 0, vErr
+		return 0, 0, obs.Snapshot{}, vErr
 	}
-	return total, quantileDuration(commits, 0.99), nil
+	return total, quantileDuration(commits, 0.99), snap, nil
 }
 
 // validateDegradedRecovery proves the dead-OST run is not just fast but

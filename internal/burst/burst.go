@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"lsmio/ckpt"
+	"lsmio/internal/obs"
 	"lsmio/internal/sim"
 )
 
@@ -55,6 +56,11 @@ type Options struct {
 	// drain worker is then a simulation process and all waits park the
 	// calling process. Nil outside the simulator (goroutine worker).
 	Kernel *sim.Kernel
+	// Obs is the metrics/trace registry the tier records into, under the
+	// `burst.` prefix. Nil creates a private registry clocked by the
+	// tier's own monotonic clock; callers that manage several subsystems
+	// inject a shared one so a single snapshot covers the whole stack.
+	Obs *obs.Registry
 }
 
 // Counters are the tier's cumulative performance counters.
@@ -116,13 +122,13 @@ type Tier struct {
 	workerOn bool
 	closed   bool
 
-	stagedSteps, stagedBytes       int64
-	drainedSteps, drainedBytes     int64
-	drainErrors                    int64
-	drainTransient, drainTargetDwn int64
-	pendingBytes, highWater    int64
-	stallTime, throttleTime    time.Duration
-	drainLag, maxDrainLag      time.Duration
+	// pendingBytes is the authoritative backpressure accounting (it
+	// drives admission control and must survive a counter reset); the
+	// burst.pending.bytes gauge mirrors it for observability.
+	pendingBytes int64
+
+	reg *obs.Registry
+	m   tierMetrics
 }
 
 // New builds a staging tier draining from staging into durable. The
@@ -143,6 +149,12 @@ func New(staging, durable *ckpt.Store, opts Options) *Tier {
 	} else {
 		t.cond = sync.NewCond(&t.mu)
 	}
+	t.reg = opts.Obs
+	if t.reg == nil {
+		t.reg = obs.NewRegistry()
+		t.reg.SetClock(t.now)
+	}
+	t.m = newTierMetrics(t.reg)
 	return t
 }
 
@@ -190,26 +202,43 @@ func (t *Tier) now() time.Duration {
 	return time.Since(t.epoch)
 }
 
-// Counters returns a snapshot of the tier's counters.
+// Counters returns a snapshot of the tier's counters. It is a legacy
+// view over the tier's `burst.` instruments in the obs registry.
 func (t *Tier) Counters() Counters {
 	t.lock()
 	defer t.unlock()
 	return Counters{
-		StagedSteps:  t.stagedSteps,
-		StagedBytes:  t.stagedBytes,
-		DrainedSteps: t.drainedSteps,
-		DrainedBytes: t.drainedBytes,
-		DrainErrors:     t.drainErrors,
-		DrainTransient:  t.drainTransient,
-		DrainTargetDown: t.drainTargetDwn,
+		StagedSteps:     t.m.stagedSteps.Load(),
+		StagedBytes:     t.m.stagedBytes.Load(),
+		DrainedSteps:    t.m.drainedSteps.Load(),
+		DrainedBytes:    t.m.drainedBytes.Load(),
+		DrainErrors:     t.m.drainErrors.Load(),
+		DrainTransient:  t.m.drainTransient.Load(),
+		DrainTargetDown: t.m.drainTargetDown.Load(),
 		PendingSteps:    int64(len(t.queue) + t.inFlight),
-		PendingBytes: t.pendingBytes,
-		HighWater:    t.highWater,
-		StallTime:    t.stallTime,
-		ThrottleTime: t.throttleTime,
-		DrainLag:     t.drainLag,
-		MaxDrainLag:  t.maxDrainLag,
+		PendingBytes:    t.pendingBytes,
+		HighWater:       t.m.highWater.Load(),
+		StallTime:       time.Duration(t.m.stallNanos.Load()),
+		ThrottleTime:    time.Duration(t.m.throttleNanos.Load()),
+		DrainLag:        time.Duration(t.m.lagNanos.Load()),
+		MaxDrainLag:     time.Duration(t.m.maxLagNanos.Load()),
 	}
+}
+
+// Obs returns the tier's metrics/trace registry (the injected one when
+// Options.Obs was set, a private one otherwise).
+func (t *Tier) Obs() *obs.Registry { return t.reg }
+
+// ResetCounters zeroes every `burst.` instrument (the trace ring is
+// kept). The authoritative backpressure accounting is unaffected; the
+// pending.bytes gauge is immediately restored from it so the snapshot
+// view stays coherent.
+func (t *Tier) ResetCounters() {
+	t.lock()
+	defer t.unlock()
+	t.reg.ResetPrefix("burst.")
+	t.m.pendingBytes.Set(t.pendingBytes)
+	t.m.highWater.SetMax(t.pendingBytes)
 }
 
 // Checkpoint is an in-progress staged checkpoint; Commit acknowledges
@@ -260,13 +289,13 @@ func (c *Checkpoint) Commit() error {
 	t.lock()
 	t.queue = append(t.queue, stagedStep{step: c.step, bytes: c.bytes, stagedAt: t.now()})
 	t.pending[c.step] = true
-	t.stagedSteps++
-	t.stagedBytes += c.bytes
+	t.m.stagedSteps.Inc()
+	t.m.stagedBytes.Add(c.bytes)
 	t.pendingBytes += c.bytes
-	if t.pendingBytes > t.highWater {
-		t.highWater = t.pendingBytes
-	}
+	t.m.pendingBytes.Set(t.pendingBytes)
+	t.m.highWater.SetMax(t.pendingBytes)
 	t.unlock()
+	t.m.trace.Emitf("burst.stage", "step=%d bytes=%d", c.step, c.bytes)
 	t.wake()
 	return nil
 }
@@ -294,6 +323,6 @@ func (t *Tier) admit(bytes int64) {
 		}
 		t.wait()
 	}
-	t.stallTime += t.now() - start
+	t.m.stallNanos.Add(int64(t.now() - start))
 	t.unlock()
 }

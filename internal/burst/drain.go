@@ -2,6 +2,7 @@ package burst
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -74,9 +75,7 @@ func (t *Tier) runWorker(sleep func(time.Duration)) {
 			target := time.Duration(float64(item.bytes) / t.opts.DrainRate * float64(time.Second))
 			if pause := target - (t.now() - start); pause > 0 {
 				sleep(pause)
-				t.lock()
-				t.throttleTime += pause
-				t.unlock()
+				t.m.throttleNanos.Add(int64(pause))
 			}
 		}
 		t.finish(item, err)
@@ -127,30 +126,37 @@ func (t *Tier) finish(item stagedStep, err error) {
 	t.inFlight--
 	delete(t.pending, item.step)
 	t.pendingBytes -= item.bytes
+	t.m.pendingBytes.Set(t.pendingBytes)
 	if err != nil {
 		t.failed[item.step] = err
 		if t.lastErr == nil {
 			t.lastErr = err
 		}
-		t.drainErrors++
+		t.m.drainErrors.Inc()
 		// Classify via the error's self-markers so operators can tell a
 		// flaky target (wait and retry) from a dead one (re-stripe): both
 		// markers are method interfaces, so no storage-layer import.
 		switch {
 		case isTargetDown(err):
-			t.drainTargetDwn++
+			t.m.drainTargetDown.Inc()
 		case isTransientFault(err):
-			t.drainTransient++
+			t.m.drainTransient.Inc()
 		}
 	} else {
-		t.drainedSteps++
-		t.drainedBytes += item.bytes
-		t.drainLag = t.now() - item.stagedAt
-		if t.drainLag > t.maxDrainLag {
-			t.maxDrainLag = t.drainLag
-		}
+		t.m.drainedSteps.Inc()
+		t.m.drainedBytes.Add(item.bytes)
+		lag := t.now() - item.stagedAt
+		t.m.lagNanos.Set(int64(lag))
+		t.m.maxLagNanos.SetMax(int64(lag))
+		t.m.lagHist.ObserveDuration(lag)
 	}
 	t.unlock()
+	if err != nil {
+		t.m.trace.Emitf("burst.drain.error", "step=%d bytes=%d err=%v", item.step, item.bytes, err)
+	} else {
+		t.m.trace.EmitSpan("burst.drain",
+			fmt.Sprintf("step=%d bytes=%d", item.step, item.bytes), item.stagedAt)
+	}
 	t.wake()
 }
 
@@ -257,6 +263,7 @@ func (t *Tier) Recover() error {
 				if qerr := t.staging.Quarantine(step, verr.Error()); qerr != nil {
 					return qerr
 				}
+				t.m.trace.Emitf("burst.recover.quarantine", "step=%d err=%v", step, verr)
 				continue
 			}
 			return verr
@@ -270,10 +277,12 @@ func (t *Tier) Recover() error {
 			t.queue = append(t.queue, stagedStep{step: step, bytes: size, stagedAt: t.now()})
 			t.pending[step] = true
 			t.pendingBytes += size
-			if t.pendingBytes > t.highWater {
-				t.highWater = t.pendingBytes
-			}
+			t.m.pendingBytes.Set(t.pendingBytes)
+			t.m.highWater.SetMax(t.pendingBytes)
 			requeued = true
+			t.unlock()
+			t.m.trace.Emitf("burst.recover.requeue", "step=%d bytes=%d", step, size)
+			continue
 		}
 		t.unlock()
 	}

@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"lsmio/internal/lsm"
 	"lsmio/internal/mpisim"
+	"lsmio/internal/obs"
 	"lsmio/internal/sim"
 )
 
@@ -56,36 +56,6 @@ type Counters struct {
 	RemoteOps   int64 // operations forwarded to a collective leader
 }
 
-// atomicCounters is the manager's live counter state. The fields are
-// atomics so a background drain worker (internal/burst) and the
-// application can share one Manager without a data race; Counters()
-// materializes a plain snapshot.
-type atomicCounters struct {
-	puts          atomic.Int64
-	gets          atomic.Int64
-	appends       atomic.Int64
-	dels          atomic.Int64
-	barriers      atomic.Int64
-	bytesPut      atomic.Int64
-	bytesGot      atomic.Int64
-	barrierTimeNs atomic.Int64
-	remoteOps     atomic.Int64
-}
-
-func (c *atomicCounters) snapshot() Counters {
-	return Counters{
-		Puts:        c.puts.Load(),
-		Gets:        c.gets.Load(),
-		Appends:     c.appends.Load(),
-		Dels:        c.dels.Load(),
-		Barriers:    c.barriers.Load(),
-		BytesPut:    c.bytesPut.Load(),
-		BytesGot:    c.bytesGot.Load(),
-		BarrierTime: time.Duration(c.barrierTimeNs.Load()),
-		RemoteOps:   c.remoteOps.Load(),
-	}
-}
-
 // ManagerOptions configures a Manager.
 type ManagerOptions struct {
 	// Store configures the local store (ignored when Remote is set).
@@ -101,17 +71,24 @@ type ManagerOptions struct {
 	// Remote, when non-nil, replaces the local store with a connection to
 	// a collective-I/O leader (§5.1 future work, implemented here).
 	Remote Store
+	// Obs is the metrics/trace registry the manager records into, under
+	// the `core.` prefix. Nil creates one clocked on the kernel's virtual
+	// time (wall time outside the simulator). The same registry is
+	// injected into the local store's LSM engine, so one snapshot covers
+	// `core.*` and `lsm.*` together.
+	Obs *obs.Registry
 }
 
 // Manager is the paper's Table 2 component: the external K/V API over the
 // local store, plus MPI integration, typed puts and performance counters.
 type Manager struct {
-	store    Store
-	kern     *sim.Kernel
-	cost     CostProfile
-	mpi      *mpisim.Rank
-	remote   bool
-	counters atomicCounters
+	store  Store
+	kern   *sim.Kernel
+	cost   CostProfile
+	mpi    *mpisim.Rank
+	remote bool
+	reg    *obs.Registry
+	m      mgrMetrics
 }
 
 // NewManager opens a manager over a local store in dir (or over the
@@ -121,13 +98,24 @@ func NewManager(dir string, opts ManagerOptions) (*Manager, error) {
 	if cost == (CostProfile{}) {
 		cost = DefaultCostProfile()
 	}
-	m := &Manager{kern: opts.Kernel, cost: cost, mpi: opts.MPI}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+		if k := opts.Kernel; k != nil {
+			reg.SetClock(func() time.Duration { return k.Now().Duration() })
+		}
+	}
+	m := &Manager{kern: opts.Kernel, cost: cost, mpi: opts.MPI, reg: reg, m: newMgrMetrics(reg)}
 	if opts.Remote != nil {
 		m.store = opts.Remote
 		m.remote = true
 		return m, nil
 	}
-	st, err := OpenStore(dir, opts.Store)
+	so := opts.Store
+	if so.Obs == nil {
+		so.Obs = reg
+	}
+	st, err := OpenStore(dir, so)
 	if err != nil {
 		return nil, err
 	}
@@ -137,11 +125,13 @@ func NewManager(dir string, opts ManagerOptions) (*Manager, error) {
 
 // Get returns the value for key (always synchronous, §3.1.4).
 func (m *Manager) Get(key string) ([]byte, error) {
+	start := m.reg.Now()
 	v, err := m.store.Get(key)
 	if err == nil {
-		m.counters.gets.Add(1)
-		m.counters.bytesGot.Add(int64(len(v)))
+		m.m.gets.Inc()
+		m.m.bytesGot.Add(int64(len(v)))
 		m.kern.Compute(m.cost.getCost(len(v)))
+		m.m.getLatency.ObserveDuration(m.reg.Now() - start)
 	}
 	return v, err
 }
@@ -152,8 +142,8 @@ func (m *Manager) Get(key string) ([]byte, error) {
 // cost is a fraction of a point get's (no per-key index descent).
 func (m *Manager) ReadBatch(prefix string, fn func(key string, value []byte) bool) error {
 	return m.store.Scan(prefix, func(key string, value []byte) bool {
-		m.counters.gets.Add(1)
-		m.counters.bytesGot.Add(int64(len(value)))
+		m.m.gets.Inc()
+		m.m.bytesGot.Add(int64(len(value)))
 		m.kern.Compute(time.Duration(m.cost.GetPerByte * float64(len(value)) / 2))
 		return fn(key, value)
 	})
@@ -184,15 +174,17 @@ func (m *Manager) PutSync(key string, value []byte) error {
 }
 
 func (m *Manager) putInternal(key string, value []byte, sync bool) error {
+	start := m.reg.Now()
 	m.kern.Compute(m.cost.putCost(len(value)))
 	if err := m.store.Put(key, value, sync); err != nil {
 		return err
 	}
-	m.counters.puts.Add(1)
-	m.counters.bytesPut.Add(int64(len(value)))
+	m.m.puts.Inc()
+	m.m.bytesPut.Add(int64(len(value)))
 	if m.remote {
-		m.counters.remoteOps.Add(1)
+		m.m.remoteOps.Inc()
 	}
+	m.m.putLatency.ObserveDuration(m.reg.Now() - start)
 	return nil
 }
 
@@ -202,8 +194,8 @@ func (m *Manager) Append(key string, value []byte) error {
 	if err := m.store.Append(key, value, false); err != nil {
 		return err
 	}
-	m.counters.appends.Add(1)
-	m.counters.bytesPut.Add(int64(len(value)))
+	m.m.appends.Inc()
+	m.m.bytesPut.Add(int64(len(value)))
 	return nil
 }
 
@@ -212,7 +204,7 @@ func (m *Manager) Del(key string) error {
 	if err := m.store.Del(key); err != nil {
 		return err
 	}
-	m.counters.dels.Add(1)
+	m.m.dels.Inc()
 	return nil
 }
 
@@ -265,27 +257,46 @@ func (m *Manager) GetFloat64(key string) (float64, error) {
 // checkpoint data is durable — the paper's implicit end-of-checkpoint
 // barrier (§3.1.1).
 func (m *Manager) WriteBarrier() error {
-	start := m.now()
+	start := m.reg.Now()
 	if err := m.store.WriteBarrier(true); err != nil {
 		return err
 	}
 	if m.mpi != nil {
 		m.mpi.Barrier()
 	}
-	m.counters.barriers.Add(1)
-	m.counters.barrierTimeNs.Add(int64(m.now().Sub(start)))
+	m.m.barriers.Inc()
+	elapsed := m.reg.Now() - start
+	m.m.barrierNanos.Add(int64(elapsed))
+	m.m.barrierLatency.ObserveDuration(elapsed)
 	return nil
 }
 
-func (m *Manager) now() sim.Time {
-	if m.kern == nil {
-		return 0
+// Counters returns a snapshot of the performance counters. It is a
+// legacy view over the manager's `core.` instruments in the obs
+// registry.
+func (m *Manager) Counters() Counters {
+	return Counters{
+		Puts:        m.m.puts.Load(),
+		Gets:        m.m.gets.Load(),
+		Appends:     m.m.appends.Load(),
+		Dels:        m.m.dels.Load(),
+		Barriers:    m.m.barriers.Load(),
+		BytesPut:    m.m.bytesPut.Load(),
+		BytesGot:    m.m.bytesGot.Load(),
+		BarrierTime: time.Duration(m.m.barrierNanos.Load()),
+		RemoteOps:   m.m.remoteOps.Load(),
 	}
-	return m.kern.Now()
 }
 
-// Counters returns a snapshot of the performance counters.
-func (m *Manager) Counters() Counters { return m.counters.snapshot() }
+// Obs returns the manager's metrics/trace registry. For a local store
+// it also carries the engine's `lsm.` instruments, so one snapshot
+// covers the whole stack.
+func (m *Manager) Obs() *obs.Registry { return m.reg }
+
+// ResetCounters zeroes every `core.` instrument (the engine's `lsm.`
+// instruments and the trace ring are kept; use Obs().Reset() to clear
+// everything).
+func (m *Manager) ResetCounters() { m.reg.ResetPrefix("core.") }
 
 // EngineStats exposes the LSM engine's counters.
 func (m *Manager) EngineStats() lsm.Stats { return m.store.EngineStats() }

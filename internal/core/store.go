@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"lsmio/internal/lsm"
+	"lsmio/internal/obs"
 	"lsmio/internal/vfs"
 )
 
@@ -99,6 +100,10 @@ type StoreOptions struct {
 	// Codec selects the block codec when compression is enabled
 	// (default snappy).
 	Codec lsm.CompressionCodec
+	// Obs is the metrics/trace registry handed to the LSM engine (its
+	// instruments live under the `lsm.` prefix there). Nil lets the
+	// engine create a private registry.
+	Obs *obs.Registry
 }
 
 func (o StoreOptions) engineOptions() lsm.Options {
@@ -121,6 +126,7 @@ func (o StoreOptions) engineOptions() lsm.Options {
 	if o.Codec != "" {
 		eo.Compression = o.Codec
 	}
+	eo.Obs = o.Obs
 	return eo
 }
 

@@ -3,12 +3,14 @@ package lsm
 import (
 	"container/list"
 	"sync"
+
+	"lsmio/internal/obs"
 )
 
 // blockCache is a size-bounded LRU over decoded blocks, shared by all the
 // tables of one DB. The paper's configuration disables it for checkpoint
 // data; the default configuration enables it, and the ablation benchmarks
-// compare the two.
+// compare the two. Hit/miss counts go straight to the DB's obs counters.
 type blockCache struct {
 	mu       sync.Mutex
 	capacity int64
@@ -16,7 +18,7 @@ type blockCache struct {
 	order    *list.List // front = most recent
 	items    map[cacheKey]*list.Element
 
-	hits, misses int64
+	hits, misses *obs.Counter
 }
 
 type cacheKey struct {
@@ -30,11 +32,13 @@ type cacheEntry struct {
 	size  int64
 }
 
-func newBlockCache(capacity int64) *blockCache {
+func newBlockCache(capacity int64, hits, misses *obs.Counter) *blockCache {
 	return &blockCache{
 		capacity: capacity,
 		order:    list.New(),
 		items:    make(map[cacheKey]*list.Element),
+		hits:     hits,
+		misses:   misses,
 	}
 }
 
@@ -43,10 +47,10 @@ func (c *blockCache) get(fileNum uint64, offset int64) (*block, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[cacheKey{fileNum, offset}]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).block, true
 }
@@ -87,9 +91,3 @@ func (c *blockCache) evictFile(fileNum uint64) {
 	}
 }
 
-// stats returns cumulative hit/miss counts.
-func (c *blockCache) stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
-}

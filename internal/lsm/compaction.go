@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 )
 
@@ -325,6 +326,7 @@ func (db *DB) runCompactionLocked(level int, inputs, overlaps []*fileMeta) error
 	}
 	smallestSnapshot := db.smallestSnapshotLocked()
 	shards := db.planSubcompactions(all)
+	compactStart := db.plat.Now()
 	// The number of output tables is unknown up front, so the merge
 	// re-takes the lock briefly for each file-number allocation and marks
 	// each output pending so the obsolete-file sweep leaves it alone.
@@ -387,8 +389,12 @@ func (db *DB) runCompactionLocked(level int, inputs, overlaps []*fileMeta) error
 	if len(all) > 0 {
 		db.vs.compactPointer[level] = append(internalKey(nil), all[0].largest...)
 	}
-	db.stats.Compactions++
-	db.stats.BytesCompacted += totalOut
+	db.m.compactions.Inc()
+	db.m.bytesCompacted.Add(totalOut)
+	db.m.compactionDur.ObserveDuration(db.plat.Now() - compactStart)
+	db.m.trace.EmitSpan("lsm.compaction",
+		fmt.Sprintf("L%d->L%d in=%d out_bytes=%d shards=%d", level, outLevel, len(all), totalOut, max(len(shards), 1)),
+		compactStart)
 	db.deleteObsoleteLocked()
 	db.plat.Signal()
 	return nil
@@ -405,7 +411,7 @@ func (db *DB) runSubcompactionsLocked(all []*fileMeta, shards []shardRange, drop
 	metas := make([][]tableMeta, len(shards))
 	errs := make([]error, len(shards))
 	pending := len(shards) - 1
-	db.stats.Subcompactions += int64(len(shards))
+	db.m.subcompactions.Add(int64(len(shards)))
 	for i := 1; i < len(shards); i++ {
 		i := i
 		db.plat.Go("lsm-subcompact", func() {

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"lsmio/internal/obs"
 	"lsmio/internal/vfs"
 )
 
@@ -335,7 +336,8 @@ func TestWALCorruptCRCStopsReplay(t *testing.T) {
 }
 
 func TestBlockCacheLRU(t *testing.T) {
-	c := newBlockCache(100)
+	var hits, misses obs.Counter
+	c := newBlockCache(100, &hits, &misses)
 	b := &block{}
 	c.put(1, 0, b, 40)
 	c.put(1, 40, b, 40)
@@ -354,9 +356,8 @@ func TestBlockCacheLRU(t *testing.T) {
 	if _, ok := c.get(1, 0); ok {
 		t.Fatal("evictFile should drop everything")
 	}
-	hits, misses := c.stats()
-	if hits == 0 || misses == 0 {
-		t.Fatalf("stats: hits=%d misses=%d", hits, misses)
+	if hits.Load() == 0 || misses.Load() == 0 {
+		t.Fatalf("stats: hits=%d misses=%d", hits.Load(), misses.Load())
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"lsmio/internal/obs"
 	"lsmio/internal/vfs"
 )
 
@@ -27,7 +28,10 @@ var (
 )
 
 // Stats are cumulative engine counters, used by the benchmarks and the
-// LSMIO performance counters.
+// LSMIO performance counters. Since the obs refactor this struct is a
+// thin snapshot view over the engine's `lsm.*` instruments in its obs
+// registry (DB.Obs); it exists for API compatibility, and the registry
+// is the single source of truth.
 type Stats struct {
 	Puts           int64
 	Deletes        int64
@@ -92,7 +96,10 @@ type DB struct {
 	manualCompaction    bool
 	closed              bool
 	bgErr               error
-	stats               Stats
+	// reg is the obs registry backing every engine counter; m caches the
+	// instrument handles so hot paths never hash instrument names.
+	reg *obs.Registry
+	m   dbMetrics
 	// snapshots are the live Snapshot handles; compaction keeps entry
 	// versions the oldest of them can still observe.
 	snapshots []*Snapshot
@@ -114,9 +121,15 @@ func Open(dir string, opts Options) (*DB, error) {
 		pinned:         make(map[*version]bool),
 		pendingOutputs: make(map[uint64]bool),
 		vs:             newVersionSet(o.FS, strings.TrimSuffix(dir, "/")),
+		reg:            o.Obs,
 	}
+	if db.reg == nil {
+		db.reg = obs.NewRegistry()
+		db.reg.SetClock(db.plat.Now)
+	}
+	db.m = newDBMetrics(db.reg)
 	if !o.DisableCache {
-		db.cache = newBlockCache(int64(o.CacheSize))
+		db.cache = newBlockCache(int64(o.CacheSize), db.m.cacheHits, db.m.cacheMisses)
 	}
 	if db.fs.Exists(currentFileName(db.dir)) {
 		if err := db.recover(); err != nil {
@@ -288,7 +301,7 @@ func (db *DB) Apply(b *Batch) error {
 		if err := db.wal.addRecord(b.data); err != nil {
 			return err
 		}
-		db.stats.WALBytes += int64(len(b.data))
+		db.m.walBytes.Add(int64(len(b.data)))
 		if db.opts.Sync {
 			if err := db.wal.sync(); err != nil {
 				return err
@@ -299,9 +312,9 @@ func (db *DB) Apply(b *Batch) error {
 		db.mem.add(seq, kind, key, append([]byte(nil), value...))
 		switch kind {
 		case kindValue:
-			db.stats.Puts++
+			db.m.puts.Inc()
 		case kindDelete:
-			db.stats.Deletes++
+			db.m.deletes.Inc()
 		}
 		return nil
 	})
@@ -321,7 +334,10 @@ func (db *DB) makeRoomForWrite() error {
 	stalled := false
 	endStall := func() {
 		if stalled {
-			db.stats.StallMicros += int64((db.plat.Now() - stallStart) / time.Microsecond)
+			d := db.plat.Now() - stallStart
+			db.m.stallUS.Add(int64(d / time.Microsecond))
+			db.m.stallDur.ObserveDuration(d)
+			db.m.trace.EmitSpan("lsm.stall", "hard write stall", stallStart)
 			stalled = false
 		}
 	}
@@ -337,12 +353,14 @@ func (db *DB) makeRoomForWrite() error {
 			// write, LevelDB-style, so a single writer is throttled, not
 			// parked.
 			allowDelay = false
-			db.stats.SlowdownWaits++
+			db.m.slowdownWaits.Inc()
 			start := db.plat.Now()
 			db.plat.Unlock()
 			db.plat.Sleep(db.opts.SlowdownDelay)
 			db.plat.Lock()
-			db.stats.SlowdownMicros += int64((db.plat.Now() - start) / time.Microsecond)
+			d := db.plat.Now() - start
+			db.m.slowdownUS.Add(int64(d / time.Microsecond))
+			db.m.slowdownDur.ObserveDuration(d)
 			continue
 		}
 		if db.mem.approximateSize() < int64(db.opts.WriteBufferSize) {
@@ -358,7 +376,7 @@ func (db *DB) makeRoomForWrite() error {
 			db.maybeScheduleCompaction()
 			if !stalled {
 				stalled = true
-				db.stats.StallWaits++
+				db.m.stallWaits.Inc()
 				stallStart = db.plat.Now()
 			}
 			db.plat.WaitCond()
@@ -468,6 +486,7 @@ func (db *DB) flushOneLocked() error {
 	m := db.imm[0]
 	num := db.vs.newFileNum()
 	db.pendingOutputs[num] = true
+	flushStart := db.plat.Now()
 	db.plat.Unlock()
 	meta, err := db.buildTable(m, num)
 	db.plat.Lock()
@@ -492,8 +511,10 @@ func (db *DB) flushOneLocked() error {
 		return err
 	}
 	db.imm = db.imm[1:]
-	db.stats.Flushes++
-	db.stats.BytesFlushed += meta.size
+	db.m.flushes.Inc()
+	db.m.bytesFlushed.Add(meta.size)
+	db.m.flushDur.ObserveDuration(db.plat.Now() - flushStart)
+	db.m.trace.EmitSpan("lsm.flush", fmt.Sprintf("table=%d bytes=%d", num, meta.size), flushStart)
 	db.deleteObsoleteLocked()
 	db.plat.Signal()
 	return nil
@@ -535,7 +556,7 @@ func (db *DB) getAtSeq(key []byte, seq seqNum) ([]byte, error) {
 		db.plat.Unlock()
 		return nil, ErrClosed
 	}
-	db.stats.Gets++
+	db.m.gets.Inc()
 	if seq > db.vs.lastSeq {
 		seq = db.vs.lastSeq
 	}
@@ -805,16 +826,38 @@ func (db *DB) NewRangeIterator(start, limit []byte) (*Iterator, error) {
 	}, nil
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters — a legacy view
+// assembled from the `lsm.*` instruments in the obs registry.
 func (db *DB) Stats() Stats {
-	db.plat.Lock()
-	defer db.plat.Unlock()
-	s := db.stats
-	if db.cache != nil {
-		s.CacheHits, s.CacheMisses = db.cache.stats()
+	m := &db.m
+	return Stats{
+		Puts:           m.puts.Load(),
+		Deletes:        m.deletes.Load(),
+		Gets:           m.gets.Load(),
+		Flushes:        m.flushes.Load(),
+		Compactions:    m.compactions.Load(),
+		BytesFlushed:   m.bytesFlushed.Load(),
+		BytesCompacted: m.bytesCompacted.Load(),
+		WALBytes:       m.walBytes.Load(),
+		StallWaits:     m.stallWaits.Load(),
+		StallMicros:    m.stallUS.Load(),
+		SlowdownWaits:  m.slowdownWaits.Load(),
+		SlowdownMicros: m.slowdownUS.Load(),
+		Subcompactions: m.subcompactions.Load(),
+		CacheHits:      m.cacheHits.Load(),
+		CacheMisses:    m.cacheMisses.Load(),
 	}
-	return s
 }
+
+// Obs returns the registry backing the engine's instruments. When
+// Options.Obs injected a shared registry (the Manager does this), the
+// same registry also carries the caller's other subsystems.
+func (db *DB) Obs() *obs.Registry { return db.reg }
+
+// ResetStats zeroes every `lsm.*` instrument, starting a fresh
+// measurement window mid-run. Other subsystems sharing the registry are
+// untouched.
+func (db *DB) ResetStats() { db.reg.ResetPrefix("lsm.") }
 
 // NumTableFiles reports the number of live SSTables per level.
 func (db *DB) NumTableFiles() [numLevels]int {

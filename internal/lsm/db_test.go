@@ -717,3 +717,40 @@ func TestMMapStyleTableWrites(t *testing.T) {
 		db.Close()
 	}
 }
+
+func TestObsRegistryAndResetStats(t *testing.T) {
+	db := openTestDB(t, vfs.NewMemFS(), func(o *Options) { o.WriteBufferSize = 16 << 10 })
+	defer db.Close()
+	for i := 0; i < 200; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), bytes.Repeat([]byte("v"), 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Puts != 200 || st.Flushes == 0 {
+		t.Fatalf("stats before reset: puts=%d flushes=%d", st.Puts, st.Flushes)
+	}
+	// The legacy Stats view and the registry snapshot must agree.
+	snap := db.Obs().Snapshot()
+	if got := snap.Counters["lsm.puts"]; got != 200 {
+		t.Fatalf("registry lsm.puts = %d, want 200", got)
+	}
+	if got := snap.Counters["lsm.flush.count"]; got != int64(st.Flushes) {
+		t.Fatalf("registry lsm.flush.count = %d, Stats().Flushes = %d", got, st.Flushes)
+	}
+	db.ResetStats()
+	st = db.Stats()
+	if st.Puts != 0 || st.Flushes != 0 || st.BytesFlushed != 0 {
+		t.Fatalf("stats after reset: %+v", st)
+	}
+	// Handles stay live after reset: new work is counted from zero.
+	if err := db.Put([]byte("after"), []byte("reset")); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.Puts != 1 {
+		t.Fatalf("puts after reset = %d, want 1", st.Puts)
+	}
+}

@@ -1,0 +1,72 @@
+package lsm
+
+import (
+	"lsmio/internal/obs"
+)
+
+// dbMetrics holds the engine's obs instrument handles, resolved once at
+// Open so the hot paths never touch the registry map. All instruments
+// live under the `lsm.` prefix; the legacy Stats struct is a thin
+// snapshot view over them (see DB.Stats).
+type dbMetrics struct {
+	puts    *obs.Counter
+	deletes *obs.Counter
+	gets    *obs.Counter
+
+	flushes      *obs.Counter
+	bytesFlushed *obs.Counter
+	flushDur     *obs.Histogram
+
+	compactions    *obs.Counter
+	bytesCompacted *obs.Counter
+	subcompactions *obs.Counter
+	compactionDur  *obs.Histogram
+
+	walBytes *obs.Counter
+
+	stallWaits *obs.Counter
+	stallUS    *obs.Counter
+	stallDur   *obs.Histogram
+
+	slowdownWaits *obs.Counter
+	slowdownUS    *obs.Counter
+	slowdownDur   *obs.Histogram
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+
+	trace *obs.Trace
+}
+
+func newDBMetrics(reg *obs.Registry) dbMetrics {
+	s := reg.Scope("lsm")
+	return dbMetrics{
+		puts:    s.Counter("puts"),
+		deletes: s.Counter("deletes"),
+		gets:    s.Counter("gets"),
+
+		flushes:      s.Counter("flush.count"),
+		bytesFlushed: s.Counter("flush.bytes"),
+		flushDur:     s.Histogram("flush.duration"),
+
+		compactions:    s.Counter("compaction.count"),
+		bytesCompacted: s.Counter("compaction.bytes_written"),
+		subcompactions: s.Counter("compaction.subcompactions"),
+		compactionDur:  s.Histogram("compaction.duration"),
+
+		walBytes: s.Counter("wal.bytes"),
+
+		stallWaits: s.Counter("stall.episodes"),
+		stallUS:    s.Counter("stall.micros"),
+		stallDur:   s.Histogram("stall.duration"),
+
+		slowdownWaits: s.Counter("slowdown.count"),
+		slowdownUS:    s.Counter("slowdown.micros"),
+		slowdownDur:   s.Histogram("slowdown.duration"),
+
+		cacheHits:   s.Counter("cache.hits"),
+		cacheMisses: s.Counter("cache.misses"),
+
+		trace: s.Trace(),
+	}
+}

@@ -18,6 +18,7 @@ package lsm
 import (
 	"time"
 
+	"lsmio/internal/obs"
 	"lsmio/internal/vfs"
 )
 
@@ -41,6 +42,11 @@ type Options struct {
 	// Platform supplies background-task scheduling and locking; defaults
 	// to the real-goroutine platform.
 	Platform Platform
+	// Obs is the metrics/trace registry the engine records into, under
+	// the `lsm.` prefix. Nil creates a private registry clocked by the
+	// Platform; callers that manage several subsystems (core.Manager)
+	// inject a shared one so a single snapshot covers the whole stack.
+	Obs *obs.Registry
 
 	// WriteBufferSize is the memtable capacity in bytes. When a memtable
 	// reaches this size it becomes immutable and is flushed to an SSTable.

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Every value must land in a bucket whose bounds contain it, and bucket
+// width must stay within 25% of the lower bound (the log-bucket error
+// guarantee the quantile estimates rely on).
+func TestBucketBoundaries(t *testing.T) {
+	probe := []int64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65,
+		1000, 4095, 4096, 4097, 1 << 20, 1<<20 + 1, 1 << 40, 1<<62 + 12345}
+	for _, v := range probe {
+		idx := bucketIndex(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d mapped to bucket %d with bounds [%d,%d)", v, idx, lo, hi)
+		}
+		if lo >= histSmall {
+			if width := hi - lo; width*4 > lo {
+				t.Fatalf("bucket %d [%d,%d): width %d exceeds 25%% of %d", idx, lo, hi, width, lo)
+			}
+		}
+	}
+	// Boundaries are exact: the last value of one bucket and the first of
+	// the next must differ in index.
+	for _, v := range []int64{3, 4, 7, 8, 15, 16, 4095, 4096} {
+		if bucketIndex(v-1) == bucketIndex(v) && v >= histSmall {
+			lo, _ := bucketBounds(bucketIndex(v))
+			if lo == v {
+				t.Fatalf("boundary %d not the start of a new bucket", v)
+			}
+		}
+	}
+	// Index function is monotone non-decreasing and stays in range.
+	prev := -1
+	for v := int64(0); v < 100000; v += 7 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucket index %d out of range for value %d", idx, v)
+		}
+		prev = idx
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v * 1000) // 1µs .. 1ms in ns
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	// Extremes are exact.
+	if s.Quantile(0) != 1000 || s.Quantile(1) != 1000000 {
+		t.Fatalf("extremes: q0=%d q1=%d, want 1000/1000000", s.Quantile(0), s.Quantile(1))
+	}
+	// Interior quantiles are bucket estimates: assert within the 25%
+	// bucket-width guarantee around the true value.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 500000}, {0.9, 900000}, {0.99, 990000}} {
+		got := s.Quantile(tc.q)
+		lo, hi := tc.want*3/4, tc.want*5/4
+		if got < lo || got > hi {
+			t.Fatalf("q%.2f = %d, want within [%d,%d]", tc.q, got, lo, hi)
+		}
+	}
+	if mean := s.Mean(); mean != 500500 {
+		t.Fatalf("mean = %f, want exactly 500500", mean)
+	}
+}
+
+// Concurrent recording must be safe (run under -race) and lose nothing.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var bucketTotal int64
+	for _, n := range s.Buckets {
+		bucketTotal += n
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	if s.Min > s.Max || s.Min < 0 {
+		t.Fatalf("min/max inconsistent: %d/%d", s.Min, s.Max)
+	}
+}
+
+// Merge must be associative (and commutative): merging per-rank
+// snapshots in any grouping yields the same aggregate.
+func TestMergeAssociativity(t *testing.T) {
+	mk := func(seed int64, n int) HistSnapshot {
+		h := NewHistogram()
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Int63n(1 << 40))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(1, 100), mk(2, 300), mk(3, 50)
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	comm := c.Merge(a).Merge(b)
+	for _, pair := range []struct {
+		name string
+		x, y HistSnapshot
+	}{{"assoc", left, right}, {"comm", left, comm}} {
+		x, y := pair.x, pair.y
+		if x.Count != y.Count || x.Sum != y.Sum || x.Min != y.Min || x.Max != y.Max {
+			t.Fatalf("%s: header mismatch: %+v vs %+v", pair.name, x, y)
+		}
+		if len(x.Buckets) != len(y.Buckets) {
+			t.Fatalf("%s: bucket sets differ", pair.name)
+		}
+		for i, n := range x.Buckets {
+			if y.Buckets[i] != n {
+				t.Fatalf("%s: bucket %d: %d vs %d", pair.name, i, n, y.Buckets[i])
+			}
+		}
+	}
+	// Merging with an empty snapshot is the identity.
+	empty := NewHistogram().Snapshot()
+	id := a.Merge(empty)
+	if id.Count != a.Count || id.Sum != a.Sum || id.Min != a.Min || id.Max != a.Max {
+		t.Fatalf("merge with empty changed the snapshot: %+v vs %+v", id, a)
+	}
+}
+
+// Delta of two snapshots equals exactly the activity recorded between
+// them — the invariant `lsmioctl stats -interval` depends on.
+func TestSnapshotDeltaInvariant(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		h.Observe(rng.Int63n(1 << 20))
+	}
+	before := h.Snapshot()
+
+	between := NewHistogram() // records the same values, independently
+	for i := 0; i < 500; i++ {
+		v := rng.Int63n(1 << 20)
+		h.Observe(v)
+		between.Observe(v)
+	}
+	after := h.Snapshot()
+
+	delta := after.Sub(before)
+	want := between.Snapshot()
+	if delta.Count != want.Count || delta.Sum != want.Sum {
+		t.Fatalf("delta count/sum = %d/%d, want %d/%d", delta.Count, delta.Sum, want.Count, want.Sum)
+	}
+	for i, n := range want.Buckets {
+		if delta.Buckets[i] != n {
+			t.Fatalf("delta bucket %d = %d, want %d", i, delta.Buckets[i], n)
+		}
+	}
+	for i := range delta.Buckets {
+		if _, ok := want.Buckets[i]; !ok {
+			t.Fatalf("delta has spurious bucket %d", i)
+		}
+	}
+	// Delta after a Reset falls back to the later snapshot whole.
+	h.Reset()
+	h.Observe(7)
+	d := h.Snapshot().Sub(after)
+	if d.Count != 1 {
+		t.Fatalf("post-reset delta count = %d, want 1", d.Count)
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+// It is a plain value: safe to retain, merge, diff and serialise.
+type Snapshot struct {
+	At       time.Duration           `json:"at"`
+	Counters map[string]int64        `json:"counters,omitempty"`
+	Gauges   map[string]int64        `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"-"`
+}
+
+// Empty reports whether the snapshot holds no instruments at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Hists) == 0
+}
+
+// Delta returns the activity between prev and s: counters and histogram
+// buckets are subtracted; gauges are levels, so the later value is kept.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		At:       s.At,
+		Counters: make(map[string]int64, len(s.Counters)),
+		Gauges:   make(map[string]int64, len(s.Gauges)),
+		Hists:    make(map[string]HistSnapshot, len(s.Hists)),
+	}
+	for n, v := range s.Counters {
+		out.Counters[n] = v - prev.Counters[n]
+	}
+	for n, v := range s.Gauges {
+		out.Gauges[n] = v
+	}
+	for n, h := range s.Hists {
+		out.Hists[n] = h.Sub(prev.Hists[n])
+	}
+	return out
+}
+
+// Merge combines two snapshots from distinct registries measuring the
+// same kind of work (e.g. per-rank registries): counters, gauges and
+// histogram buckets are added bucket-wise.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{
+		At:       s.At,
+		Counters: make(map[string]int64, len(s.Counters)+len(o.Counters)),
+		Gauges:   make(map[string]int64, len(s.Gauges)+len(o.Gauges)),
+		Hists:    make(map[string]HistSnapshot, len(s.Hists)+len(o.Hists)),
+	}
+	if o.At > out.At {
+		out.At = o.At
+	}
+	for n, v := range s.Counters {
+		out.Counters[n] = v
+	}
+	for n, v := range o.Counters {
+		out.Counters[n] += v
+	}
+	for n, v := range s.Gauges {
+		out.Gauges[n] = v
+	}
+	for n, v := range o.Gauges {
+		out.Gauges[n] += v
+	}
+	for n, h := range s.Hists {
+		out.Hists[n] = h.clone()
+	}
+	for n, h := range o.Hists {
+		out.Hists[n] = out.Hists[n].Merge(h)
+	}
+	return out
+}
+
+// Names returns every instrument name in the snapshot, sorted.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Hists))
+	for n := range s.Counters {
+		out = append(out, n)
+	}
+	for n := range s.Gauges {
+		out = append(out, n)
+	}
+	for n := range s.Hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tree renders the snapshot as a nested map keyed by the dotted name
+// segments — the shape `lsmioctl stats -json` and the bench JSON emit.
+// Counter/gauge leaves are numbers; histogram leaves are summary maps
+// (count, sum, min, max, mean, p50, p99, p999, in nanoseconds).
+func (s Snapshot) Tree() map[string]any {
+	root := make(map[string]any)
+	insert := func(name string, v any) {
+		parts := strings.Split(name, ".")
+		node := root
+		for i, p := range parts {
+			if i == len(parts)-1 {
+				node[p] = v
+				return
+			}
+			child, ok := node[p].(map[string]any)
+			if !ok {
+				// A leaf and an interior node collide on the same
+				// segment; keep the leaf under an empty key.
+				if existing, has := node[p]; has {
+					child = map[string]any{"": existing}
+				} else {
+					child = make(map[string]any)
+				}
+				node[p] = child
+			}
+			node = child
+		}
+	}
+	for n, v := range s.Counters {
+		insert(n, v)
+	}
+	for n, v := range s.Gauges {
+		insert(n, v)
+	}
+	for n, h := range s.Hists {
+		insert(n, h.Summary())
+	}
+	return root
+}
+
+// WriteTable prints the snapshot as an aligned two-column text table,
+// one instrument per row, histograms expanded to their summary fields.
+func (s Snapshot) WriteTable(w io.Writer) error {
+	type row struct{ name, value string }
+	rows := make([]row, 0, len(s.Counters)+len(s.Gauges)+len(s.Hists))
+	for n, v := range s.Counters {
+		rows = append(rows, row{n, fmt.Sprintf("%d", v)})
+	}
+	for n, v := range s.Gauges {
+		rows = append(rows, row{n, fmt.Sprintf("%d", v)})
+	}
+	for n, h := range s.Hists {
+		if h.Count == 0 {
+			rows = append(rows, row{n, "count=0"})
+			continue
+		}
+		rows = append(rows, row{n, fmt.Sprintf(
+			"count=%d mean=%s p50=%s p99=%s p999=%s max=%s",
+			h.Count,
+			time.Duration(int64(h.Mean())).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.999)).Round(time.Microsecond),
+			time.Duration(h.Max).Round(time.Microsecond),
+		)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	width := 0
+	for _, r := range rows {
+		if len(r.name) > width {
+			width = len(r.name)
+		}
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", width, r.name, r.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -3,10 +3,10 @@ package pfs
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"lsmio/internal/netsim"
+	"lsmio/internal/obs"
 	"lsmio/internal/resil"
 	"lsmio/internal/sim"
 	"lsmio/internal/vfs"
@@ -35,69 +35,13 @@ type Cluster struct {
 	tracker *resil.Tracker
 	res     Resilience
 
-	stats atomicStats
-}
-
-// atomicStats mirrors Stats with atomic counters (the core.Manager
-// treatment): sim-mode runs are single-threaded, but go-mode shares a
-// cluster between app goroutines and the burst drain worker.
-type atomicStats struct {
-	bytesWritten, bytesRead, writeOps, readOps       atomic.Int64
-	seeks, lockSwitches, metadataOps, clientStalls   atomic.Int64
-	retries, faultsInjected                          atomic.Int64
-	hedges, hedgeWins                                atomic.Int64
-	degradedReads, degradedReadBytes                 atomic.Int64
-	parityBytesWritten, lostStripeWrites             atomic.Int64
-	degradedLayouts                                  atomic.Int64
-	scrubVerified, scrubRepaired, scrubUnrecoverable atomic.Int64
-}
-
-func (s *atomicStats) snapshot() Stats {
-	return Stats{
-		BytesWritten:       s.bytesWritten.Load(),
-		BytesRead:          s.bytesRead.Load(),
-		WriteOps:           s.writeOps.Load(),
-		ReadOps:            s.readOps.Load(),
-		Seeks:              s.seeks.Load(),
-		LockSwitches:       s.lockSwitches.Load(),
-		MetadataOps:        s.metadataOps.Load(),
-		ClientStalls:       s.clientStalls.Load(),
-		Retries:            s.retries.Load(),
-		FaultsInjected:     s.faultsInjected.Load(),
-		Hedges:             s.hedges.Load(),
-		HedgeWins:          s.hedgeWins.Load(),
-		DegradedReads:      s.degradedReads.Load(),
-		DegradedReadBytes:  s.degradedReadBytes.Load(),
-		ParityBytesWritten: s.parityBytesWritten.Load(),
-		LostStripeWrites:   s.lostStripeWrites.Load(),
-		DegradedLayouts:    s.degradedLayouts.Load(),
-		ScrubVerified:      s.scrubVerified.Load(),
-		ScrubRepaired:      s.scrubRepaired.Load(),
-		ScrubUnrecoverable: s.scrubUnrecoverable.Load(),
-	}
-}
-
-func (s *atomicStats) reset() {
-	s.bytesWritten.Store(0)
-	s.bytesRead.Store(0)
-	s.writeOps.Store(0)
-	s.readOps.Store(0)
-	s.seeks.Store(0)
-	s.lockSwitches.Store(0)
-	s.metadataOps.Store(0)
-	s.clientStalls.Store(0)
-	s.retries.Store(0)
-	s.faultsInjected.Store(0)
-	s.hedges.Store(0)
-	s.hedgeWins.Store(0)
-	s.degradedReads.Store(0)
-	s.degradedReadBytes.Store(0)
-	s.parityBytesWritten.Store(0)
-	s.lostStripeWrites.Store(0)
-	s.degradedLayouts.Store(0)
-	s.scrubVerified.Store(0)
-	s.scrubRepaired.Store(0)
-	s.scrubUnrecoverable.Store(0)
+	// reg is the obs registry (clocked on the cluster's virtual time)
+	// backing every `pfs.*` counter and latency histogram; m caches the
+	// instrument handles. Counters are atomic: sim-mode runs are
+	// single-threaded, but go-mode shares a cluster between app
+	// goroutines and the burst drain worker.
+	reg *obs.Registry
+	m   pfsMetrics
 }
 
 // FaultFunc decides whether one OST RPC attempt fails. It is consulted
@@ -130,7 +74,7 @@ func (c *Cluster) retryBackoff(attempt, ostIdx int) time.Duration {
 	}
 	h := uint64(ostIdx+1)*0x9e3779b97f4a7c15 +
 		uint64(attempt+1)*0xbf58476d1ce4e5b9 +
-		uint64(c.stats.retries.Load())*0x94d049bb133111eb
+		uint64(c.m.retries.Load())*0x94d049bb133111eb
 	h ^= h >> 31
 	h *= 0x9e3779b97f4a7c15
 	h ^= h >> 29
@@ -265,7 +209,10 @@ func NewCluster(k *sim.Kernel, cfg Config) *Cluster {
 		cfg:     cfg.withDefaults(),
 		store:   vfs.NewMemFS(),
 		layouts: make(map[string]*layout),
+		reg:     obs.NewRegistry(),
 	}
+	c.reg.SetClock(func() time.Duration { return k.Now().Duration() })
+	c.m = newPFSMetrics(c.reg)
 	c.fabric = netsim.New(k, netsim.Config{
 		Nodes:     c.cfg.ComputeNodes + c.cfg.NumOSSs,
 		Latency:   c.cfg.NetLatency,
@@ -289,13 +236,44 @@ func (c *Cluster) Fabric() *netsim.Fabric { return c.fabric }
 // Config returns the effective configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Stats returns a snapshot of the cumulative storage statistics.
-func (c *Cluster) Stats() Stats { return c.stats.snapshot() }
+// Stats returns a snapshot of the cumulative storage statistics — a
+// legacy view assembled from the `pfs.*` instruments in the obs
+// registry (Cluster.Obs).
+func (c *Cluster) Stats() Stats {
+	m := &c.m
+	return Stats{
+		BytesWritten:       m.bytesWritten.Load(),
+		BytesRead:          m.bytesRead.Load(),
+		WriteOps:           m.writeOps.Load(),
+		ReadOps:            m.readOps.Load(),
+		Seeks:              m.seeks.Load(),
+		LockSwitches:       m.lockSwitches.Load(),
+		MetadataOps:        m.metadataOps.Load(),
+		ClientStalls:       m.clientStalls.Load(),
+		Retries:            m.retries.Load(),
+		FaultsInjected:     m.faults.Load(),
+		Hedges:             m.hedges.Load(),
+		HedgeWins:          m.hedgeWins.Load(),
+		DegradedReads:      m.degradedReads.Load(),
+		DegradedReadBytes:  m.degradedReadBytes.Load(),
+		ParityBytesWritten: m.parityBytes.Load(),
+		LostStripeWrites:   m.lostStripeWrites.Load(),
+		DegradedLayouts:    m.degradedLayouts.Load(),
+		ScrubVerified:      m.scrubVerified.Load(),
+		ScrubRepaired:      m.scrubRepaired.Load(),
+		ScrubUnrecoverable: m.scrubUnrecoverable.Load(),
+	}
+}
 
-// ResetStats zeroes the cumulative statistics, starting a fresh
+// Obs returns the cluster's registry: every `pfs.*` counter plus the
+// per-operation latency histograms (pfs.ost.write_latency /
+// pfs.ost.read_latency) and the trace ring, all on virtual time.
+func (c *Cluster) Obs() *obs.Registry { return c.reg }
+
+// ResetStats zeroes the cumulative `pfs.*` statistics, starting a fresh
 // accounting window (e.g. to isolate the retries a single drain incurs
 // from those of the workload that staged the data).
-func (c *Cluster) ResetStats() { c.stats.reset() }
+func (c *Cluster) ResetStats() { c.reg.ResetPrefix("pfs.") }
 
 // Store exposes the backing in-memory store (tests use it to verify data).
 func (c *Cluster) Store() *vfs.MemFS { return c.store }
@@ -358,7 +336,7 @@ func (c *Cluster) newLayout(stripeCount int, stripeSize int64, parity bool) *lay
 		}
 	}
 	if skipped > 0 {
-		c.stats.degradedLayouts.Add(1)
+		c.m.degradedLayouts.Inc()
 	}
 	c.allocNext = (c.allocNext + stripeCount) % c.cfg.NumOSTs
 	c.nextFileID++
@@ -382,7 +360,7 @@ func (c *Cluster) newLayout(stripeCount int, stripeSize int64, parity bool) *lay
 // chargeMDS books one metadata operation to the calling process: a network
 // round trip plus serialized MDS service.
 func (c *Cluster) chargeMDS(p *sim.Proc, client int) {
-	c.stats.metadataOps.Add(1)
+	c.m.metadataOps.Inc()
 	// Request to the MDS (modelled as living beside OSS 0).
 	c.fabric.Transfer(p, client, c.ossNodeID(0), 256)
 	done := c.mds.serve(p.Now(), c.cfg.MDSOpTime)
@@ -446,13 +424,13 @@ func (c *Cluster) ostService(o *ost, now sim.Time, client int, l *layout, r run,
 		} else {
 			d += c.cfg.ReadSeek
 		}
-		c.stats.seeks.Add(1)
+		c.m.seeks.Inc()
 	}
 	// Extent locks: writes by a non-holder migrate the lock.
 	if isWrite {
 		if holder, ok := o.lockHolder[l.id]; ok && holder != client {
 			d += c.cfg.LockSwitch
-			c.stats.lockSwitches.Add(1)
+			c.m.lockSwitches.Inc()
 		}
 		o.lockHolder[l.id] = client
 	}
@@ -465,7 +443,7 @@ func (c *Cluster) ostService(o *ost, now sim.Time, client int, l *layout, r run,
 // chargeWriteCPU books the client-side data-path cost of accepting n
 // bytes into the write-back cache (page copy + checksum).
 func (c *Cluster) chargeWriteCPU(p *sim.Proc, n int64) {
-	c.stats.bytesWritten.Add(n)
+	c.m.bytesWritten.Add(n)
 	p.Sleep(time.Duration(float64(n) / c.cfg.ClientStreamBW * 1e9))
 }
 
@@ -522,7 +500,7 @@ func (c *Cluster) writeRun(p *sim.Proc, client int, l *layout, r run, allowHedge
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		c.stats.writeOps.Add(1)
+		c.m.writeOps.Inc()
 		p.Sleep(c.cfg.ClientRPCOverhead)
 		// Wire to the OSS.
 		ossIdx := c.ossOf(r.ostIdx)
@@ -533,10 +511,10 @@ func (c *Cluster) writeRun(p *sim.Proc, client int, l *layout, r run, allowHedge
 		}
 		if c.faultFn != nil {
 			if err := c.faultFn(true, r.ostIdx, attempt); err != nil {
-				c.stats.faultsInjected.Add(1)
+				c.m.faults.Inc()
 				c.observeErr(r.ostIdx)
 				if transientFault(err) && attempt < c.cfg.RetryMax {
-					c.stats.retries.Add(1)
+					c.m.retries.Inc()
 					p.Sleep(c.retryBackoff(attempt, r.ostIdx))
 					continue
 				}
@@ -548,14 +526,23 @@ func (c *Cluster) writeRun(p *sim.Proc, client int, l *layout, r run, allowHedge
 		start := p.Now()
 		ossDone := c.oss[ossIdx].serve(start,
 			time.Duration(float64(r.n)/c.cfg.OSSBandwidth*1e9))
-		done := c.ostService(o, ossDone, client, l, r, true)
+		primaryDone := c.ostService(o, ossDone, client, l, r, true)
+		// The health tracker must see the PRIMARY's own completion time:
+		// crediting it with a faster hedged completion would launder a
+		// straggler's latency through the spare, hold its EWMA down, and
+		// keep the slow-trip breaker from ever opening.
+		c.observeOK(r.ostIdx, primaryDone.Sub(start))
+		done := primaryDone
 		if allowHedge {
-			done = c.maybeHedge(p, client, l, r, start, done)
+			done = c.maybeHedge(p, client, l, r, start, primaryDone)
 		}
-		c.observeOK(r.ostIdx, done.Sub(start))
+		// The latency histogram records what the CLIENT experienced — the
+		// first completion to land, hedged or not. It feeds both the bench
+		// percentiles and the hedge-delay median.
+		c.m.writeLatency.ObserveDuration(done.Sub(start))
 		// Dirty-lag backpressure: stall until the device is close enough.
 		if lag := done.Sub(p.Now()); lag > c.cfg.MaxDirtyLag {
-			c.stats.clientStalls.Add(1)
+			c.m.clientStalls.Inc()
 			p.Sleep(lag - c.cfg.MaxDirtyLag)
 		}
 		return done, nil
@@ -566,7 +553,7 @@ func (c *Cluster) writeRun(p *sim.Proc, client int, l *layout, r run, allowHedge
 // retry policy as writes. On a parity layout with exactly one member
 // down, the run is served by parity reconstruction from the survivors.
 func (c *Cluster) chargeRead(p *sim.Proc, client int, l *layout, off, n int64) error {
-	c.stats.bytesRead.Add(n)
+	c.m.bytesRead.Add(n)
 	for _, r := range l.stripeRuns(off, n) {
 		slot := l.slotOf(r.ostIdx)
 		down := c.osts[r.ostIdx].health == OSTDead ||
@@ -589,17 +576,17 @@ func (c *Cluster) chargeRead(p *sim.Proc, client int, l *layout, off, n int64) e
 // readRun ships one contiguous read run with the transient-retry policy.
 func (c *Cluster) readRun(p *sim.Proc, client int, l *layout, r run) error {
 	for attempt := 0; ; attempt++ {
-		c.stats.readOps.Add(1)
+		c.m.readOps.Inc()
 		p.Sleep(c.cfg.ClientRPCOverhead)
 		ossIdx := c.ossOf(r.ostIdx)
 		// Request travels to the OSS (small), data comes back.
 		c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), 128)
 		if c.faultFn != nil {
 			if err := c.faultFn(false, r.ostIdx, attempt); err != nil {
-				c.stats.faultsInjected.Add(1)
+				c.m.faults.Inc()
 				c.observeErr(r.ostIdx)
 				if transientFault(err) && attempt < c.cfg.RetryMax {
-					c.stats.retries.Add(1)
+					c.m.retries.Inc()
 					p.Sleep(c.retryBackoff(attempt, r.ostIdx))
 					continue
 				}
@@ -613,6 +600,7 @@ func (c *Cluster) readRun(p *sim.Proc, client int, l *layout, r run) error {
 			p.Sleep(wait)
 		}
 		c.observeOK(r.ostIdx, done.Sub(start))
+		c.m.readLatency.ObserveDuration(done.Sub(start))
 		c.fabric.Transfer(p, c.ossNodeID(ossIdx), client, r.n)
 		// Client-side copy out of the reply.
 		p.Sleep(time.Duration(float64(r.n) / c.cfg.ClientStreamBW * 1e9))

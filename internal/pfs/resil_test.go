@@ -258,6 +258,69 @@ func TestHedgedWriteRedirectsStraggler(t *testing.T) {
 	}
 }
 
+// TestHedgeWinDoesNotMaskPrimaryLatency is the regression test for the
+// hedge-latency laundering bug: the primary OST's health observation used
+// to be taken after hedging resolved, so a straggler whose writes were
+// rescued by a fast spare was credited with the spare's latency and its
+// EWMA converged toward healthy — the slow-trip could never see it. The
+// primary must be observed with its own completion time regardless of who
+// wins the hedge.
+func TestHedgeWinDoesNotMaskPrimaryLatency(t *testing.T) {
+	cfg := resilTestConfig(4)
+	cfg.DefaultStripeSize = 1 << 20
+	cfg.MaxDirtyLag = 2 * time.Millisecond
+	c := runOnCluster(t, cfg, func(c *Cluster, fs *ClientFS) {
+		c.EnableResilience(Resilience{
+			Hedge: true,
+			// Suppress breaker action so hedging keeps running against
+			// the slow primary for the whole test.
+			Tracker: resil.Options{SlowStrikes: 1 << 20},
+		})
+		w, _ := fs.CreateStriped("warm.dat", 4, 1<<20)
+		w.Write(make([]byte, 8<<20))
+		w.Sync()
+		w.Close()
+		c.SetOSTHealth(0, OSTDegraded, 10)
+		f, err := fs.CreateStriped("slow.dat", 2, 1<<20)
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		_, _, osts, _ := c.DescribeLayout("slow.dat")
+		if osts[0] != 0 && osts[1] != 0 {
+			t.Fatalf("layout %v does not include slow OST 0", osts)
+		}
+		if _, err := f.Write(make([]byte, 8<<20)); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := f.Sync(); err != nil {
+			t.Errorf("sync: %v", err)
+		}
+		f.Close()
+	})
+	st := c.Stats()
+	if st.HedgeWins == 0 {
+		t.Fatal("expected hedge wins against the slow OST")
+	}
+	// The victim's EWMA must reflect its true 10x latency, not the fast
+	// hedged completion. Compare against the healthiest OST that served
+	// comparable traffic.
+	slow := c.Tracker().EWMA(0)
+	var healthy time.Duration
+	for i := 1; i < 4; i++ {
+		if e := c.Tracker().EWMA(i); e > healthy {
+			healthy = e
+		}
+	}
+	if healthy == 0 {
+		t.Fatal("healthy OSTs recorded no latency observations")
+	}
+	if slow < 3*healthy {
+		t.Fatalf("slow OST EWMA %v not distinguishably above healthy max %v: hedge wins are masking primary latency", slow, healthy)
+	}
+}
+
 func TestScrubRepairsCorruption(t *testing.T) {
 	data := pattern(64 << 10)
 	c := runOnCluster(t, resilTestConfig(5), func(c *Cluster, fs *ClientFS) {

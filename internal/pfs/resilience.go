@@ -127,12 +127,22 @@ func (r Resilience) withDefaults() Resilience {
 
 // EnableResilience turns on health tracking (and, per r, hedging and
 // parity striping for resilient clients). The tracker's breaker timers
-// run on the cluster's virtual clock.
+// run on the cluster's virtual clock, its hedge-calibration quantiles
+// come from the cluster's pfs.ost.write_latency histogram (the cluster
+// records, the tracker reads), and breaker life-cycle events land in
+// the cluster's trace ring.
 func (c *Cluster) EnableResilience(r Resilience) {
 	c.res = r.withDefaults()
+	topts := c.res.Tracker
+	if topts.Latency == nil {
+		topts.Latency = c.m.writeLatency
+	}
+	if topts.Trace == nil {
+		topts.Trace = c.m.trace
+	}
 	c.tracker = resil.New(c.cfg.NumOSTs, func() time.Duration {
 		return c.k.Now().Duration()
-	}, c.res.Tracker)
+	}, topts)
 }
 
 // Tracker returns the health tracker (nil before EnableResilience).
@@ -222,8 +232,9 @@ func (c *Cluster) maybeHedge(p *sim.Proc, client int, l *layout, r run, start si
 	if spare < 0 {
 		return done
 	}
-	c.stats.hedges.Add(1)
-	c.stats.writeOps.Add(1)
+	c.m.hedges.Inc()
+	c.m.writeOps.Inc()
+	hedgeStart := start.Duration()
 	// The client issues the duplicate RPC once the delay elapses.
 	p.Sleep(c.cfg.ClientRPCOverhead)
 	ossIdx := c.ossOf(spare)
@@ -244,10 +255,14 @@ func (c *Cluster) maybeHedge(p *sim.Proc, client int, l *layout, r run, start si
 	}
 	spareDone := so.serve(ossDone, d)
 	c.observeOK(spare, spareDone.Sub(t0))
-	if spareDone < done {
-		c.stats.hedgeWins.Add(1)
+	won := spareDone < done
+	if won {
+		c.m.hedgeWins.Inc()
 		done = spareDone
 	}
+	c.m.trace.EmitSpan("pfs.hedge",
+		fmt.Sprintf("primary=%d spare=%d bytes=%d won=%t", r.ostIdx, spare, r.n, won),
+		hedgeStart)
 	return done
 }
 
@@ -276,7 +291,7 @@ func (c *Cluster) absorbLostWrite(l *layout, slot int) bool {
 		return false
 	}
 	l.lost[slot] = true
-	c.stats.lostStripeWrites.Add(1)
+	c.m.lostStripeWrites.Inc()
 	return true
 }
 
@@ -289,7 +304,7 @@ func (c *Cluster) absorbLostParity(l *layout) bool {
 		return false
 	}
 	l.parityLost = true
-	c.stats.lostStripeWrites.Add(1)
+	c.m.lostStripeWrites.Inc()
 	return true
 }
 
@@ -308,8 +323,8 @@ func (c *Cluster) canDegradeRead(l *layout, slot int) bool {
 // and the client XORs them back together. The real bytes are intact in
 // the backing store (fail-stop model), so only the cost is booked.
 func (c *Cluster) degradedRead(p *sim.Proc, client int, l *layout, r run) {
-	c.stats.degradedReads.Add(1)
-	c.stats.degradedReadBytes.Add(r.n)
+	c.m.degradedReads.Inc()
+	c.m.degradedReadBytes.Add(r.n)
 	lostSlot := l.slotOf(r.ostIdx)
 	for slot, ostIdx := range l.osts {
 		if slot == lostSlot {
@@ -337,7 +352,7 @@ func (c *Cluster) writeParityRun(p *sim.Proc, client int, l *layout, off, n int6
 	if pn == 0 {
 		pn = n
 	}
-	c.stats.parityBytesWritten.Add(pn)
+	c.m.parityBytes.Add(pn)
 	r := run{ostIdx: l.parityOST, objOff: off / int64(l.stripeCount), n: pn}
 	return c.writeRun(p, client, l, r, true)
 }
@@ -386,7 +401,7 @@ func (f *ClientFS) Scrub(dir string) (ScrubReport, error) {
 		dataLost, parityLost := c.lostMembers(l)
 		if len(dataLost)+btoi(parityLost) > 1 {
 			rep.Unrecoverable += len(units)
-			c.stats.scrubUnrecoverable.Add(int64(len(units)))
+			c.m.scrubUnrecoverable.Add(int64(len(units)))
 			continue
 		}
 		if len(dataLost) == 1 {
@@ -395,13 +410,13 @@ func (f *ClientFS) Scrub(dir string) (ScrubReport, error) {
 				return rep, err
 			}
 			rep.Repaired += n
-			c.stats.scrubRepaired.Add(int64(n))
+			c.m.scrubRepaired.Add(int64(n))
 		} else if parityLost {
 			if err := c.relocateParity(p, f.nodeID, path, l, size); err != nil {
 				return rep, err
 			}
 			rep.Repaired++
-			c.stats.scrubRepaired.Add(1)
+			c.m.scrubRepaired.Add(1)
 		}
 		v, r, u, err := c.verifyUnits(p, f.nodeID, path, l, size, units)
 		if err != nil {
@@ -410,9 +425,9 @@ func (f *ClientFS) Scrub(dir string) (ScrubReport, error) {
 		rep.Verified += v
 		rep.Repaired += r
 		rep.Unrecoverable += u
-		c.stats.scrubVerified.Add(int64(v))
-		c.stats.scrubRepaired.Add(int64(r))
-		c.stats.scrubUnrecoverable.Add(int64(u))
+		c.m.scrubVerified.Add(int64(v))
+		c.m.scrubRepaired.Add(int64(r))
+		c.m.scrubUnrecoverable.Add(int64(u))
 	}
 	return rep, nil
 }

@@ -2,8 +2,8 @@
 // simulated parallel file system's degraded-mode write path: a per-target
 // health tracker (EWMA of served latency plus consecutive-error counts)
 // feeding a per-target circuit breaker with half-open probing, and a
-// bounded latency sample window whose quantiles calibrate hedged-request
-// trigger delays.
+// shared obs.Histogram of recent latencies whose quantiles calibrate
+// hedged-request trigger delays.
 //
 // The package is deliberately independent of the PFS: targets are plain
 // indexes and time is an injected monotonic clock, so the tracker runs
@@ -29,6 +29,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"lsmio/internal/obs"
 )
 
 // State is a breaker state.
@@ -69,9 +71,17 @@ type Options struct {
 	// every request succeeded (defaults 6× and 16).
 	SlowFactor  float64
 	SlowStrikes int
-	// Window is the size of the shared latency sample ring used for
-	// quantile estimation (default 128).
-	Window int
+	// Latency optionally injects a shared latency histogram for quantile
+	// estimation (replacing the private sorted-sample ring the tracker
+	// used to own). When injected the OWNER records observations into it
+	// and the tracker only reads quantiles — so the same instrument that
+	// feeds hedging also shows up in the owner's registry snapshot with
+	// no duplicated state. When nil the tracker creates a private
+	// histogram and records every ObserveOK latency itself.
+	Latency *obs.Histogram
+	// Trace optionally receives breaker life-cycle events
+	// ("resil.breaker.trip", "resil.breaker.probe", "resil.breaker.close").
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -89,9 +99,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SlowStrikes <= 0 {
 		o.SlowStrikes = 16
-	}
-	if o.Window <= 0 {
-		o.Window = 128
 	}
 	return o
 }
@@ -126,9 +133,8 @@ type Tracker struct {
 	opts Options
 	t    []target
 
-	ring    []time.Duration
-	ringPos int
-	ringLen int
+	lat     *obs.Histogram // shared latency histogram (see Options.Latency)
+	ownsLat bool           // tracker records into lat itself
 
 	denials int64
 }
@@ -140,12 +146,17 @@ func New(n int, now func() time.Duration, opts Options) *Tracker {
 		panic("resil: tracker needs at least one target")
 	}
 	o := opts.withDefaults()
-	return &Tracker{
+	tr := &Tracker{
 		now:  now,
 		opts: o,
 		t:    make([]target, n),
-		ring: make([]time.Duration, o.Window),
+		lat:  o.Latency,
 	}
+	if tr.lat == nil {
+		tr.lat = obs.NewHistogram()
+		tr.ownsLat = true
+	}
+	return tr
 }
 
 // Targets returns how many targets are tracked.
@@ -164,15 +175,16 @@ func (tr *Tracker) ObserveOK(i int, lat time.Duration) {
 	} else {
 		t.ewma = tr.opts.Alpha*float64(lat) + (1-tr.opts.Alpha)*t.ewma
 	}
-	tr.ring[tr.ringPos] = lat
-	tr.ringPos = (tr.ringPos + 1) % len(tr.ring)
-	if tr.ringLen < len(tr.ring) {
-		tr.ringLen++
+	if tr.ownsLat {
+		tr.lat.ObserveDuration(lat)
 	}
 	if t.state == HalfOpen {
 		t.state = Closed
 		t.probing = false
 		t.consecSlow = 0
+		if tr.opts.Trace != nil {
+			tr.opts.Trace.Emitf("resil.breaker.close", "target=%d probe ok", i)
+		}
 		return
 	}
 	if t.state != Closed {
@@ -184,7 +196,7 @@ func (tr *Tracker) ObserveOK(i int, lat time.Duration) {
 	if med > 0 && float64(lat) >= tr.opts.SlowFactor*med {
 		t.consecSlow++
 		if t.consecSlow >= tr.opts.SlowStrikes {
-			tr.openLocked(t, "slow")
+			tr.openLocked(i, "slow")
 		}
 	} else {
 		t.consecSlow = 0
@@ -202,20 +214,24 @@ func (tr *Tracker) ObserveErr(i int) {
 	t.consecSlow = 0
 	switch t.state {
 	case HalfOpen:
-		tr.openLocked(t, "probe-failed")
+		tr.openLocked(i, "probe-failed")
 	case Closed:
 		if t.consecErr >= tr.opts.ErrThreshold {
-			tr.openLocked(t, "errors")
+			tr.openLocked(i, "errors")
 		}
 	}
 }
 
-func (tr *Tracker) openLocked(t *target, reason string) {
+func (tr *Tracker) openLocked(i int, reason string) {
+	t := &tr.t[i]
 	t.state = Open
 	t.openedAt = tr.now()
 	t.probing = false
 	t.trips++
 	t.lastReason = reason
+	if tr.opts.Trace != nil {
+		tr.opts.Trace.Emitf("resil.breaker.trip", "target=%d reason=%s trips=%d", i, reason, t.trips)
+	}
 }
 
 // Route reports whether new work should be placed on target i. An open
@@ -233,6 +249,9 @@ func (tr *Tracker) Route(i int) bool {
 			t.state = HalfOpen
 			t.probing = true
 			t.probes++
+			if tr.opts.Trace != nil {
+				tr.opts.Trace.Emitf("resil.breaker.probe", "target=%d", i)
+			}
 			return true
 		}
 		tr.denials++
@@ -241,6 +260,9 @@ func (tr *Tracker) Route(i int) bool {
 		if !t.probing {
 			t.probing = true
 			t.probes++
+			if tr.opts.Trace != nil {
+				tr.opts.Trace.Emitf("resil.breaker.probe", "target=%d", i)
+			}
 			return true
 		}
 		tr.denials++
@@ -281,24 +303,12 @@ func (tr *Tracker) medianEWMALocked(skip int) float64 {
 	return vals[len(vals)/2]
 }
 
-// Quantile returns the q-quantile (0..1) of the shared recent-latency
-// window, 0 when no observations have been recorded.
+// Quantile returns the q-quantile (0..1) of the shared latency
+// histogram, 0 when no observations have been recorded. Quantile(0) and
+// Quantile(1) are the exact min and max; interior quantiles are
+// log-bucket estimates (≤25% bucket width).
 func (tr *Tracker) Quantile(q float64) time.Duration {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	if tr.ringLen == 0 {
-		return 0
-	}
-	samples := make([]time.Duration, tr.ringLen)
-	copy(samples, tr.ring[:tr.ringLen])
-	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	return samples[int(q*float64(len(samples)-1)+0.5)]
+	return time.Duration(tr.lat.Quantile(q))
 }
 
 // Denials returns how many Route calls were rejected by open breakers.

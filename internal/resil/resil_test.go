@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"lsmio/internal/obs"
 )
 
 // fakeClock is a manually advanced monotonic clock.
@@ -156,7 +158,7 @@ func TestUniformLoadNeverTrips(t *testing.T) {
 }
 
 func TestEWMAAndQuantile(t *testing.T) {
-	tr, _ := newTestTracker(2, Options{Alpha: 0.5, Window: 8})
+	tr, _ := newTestTracker(2, Options{Alpha: 0.5})
 	tr.ObserveOK(0, 10*time.Millisecond)
 	if got := tr.EWMA(0); got != 10*time.Millisecond {
 		t.Fatalf("first EWMA = %v, want 10ms", got)
@@ -168,22 +170,62 @@ func TestEWMAAndQuantile(t *testing.T) {
 	if tr.Quantile(0.5) == 0 {
 		t.Fatal("quantile should be non-zero after observations")
 	}
+	// Histogram min/max are tracked exactly, so the extremes stay exact.
 	if lo, hi := tr.Quantile(0), tr.Quantile(1); lo != 10*time.Millisecond || hi != 20*time.Millisecond {
 		t.Fatalf("quantile bounds = %v..%v, want 10ms..20ms", lo, hi)
 	}
-	// Ring wraps without panicking.
 	for i := 0; i < 32; i++ {
 		tr.ObserveOK(1, time.Millisecond)
 	}
 	if tr.Quantile(0.99) == 0 {
-		t.Fatal("quantile after wrap should be non-zero")
+		t.Fatal("quantile after many observations should be non-zero")
 	}
 }
 
 func TestQuantileEmpty(t *testing.T) {
 	tr, _ := newTestTracker(1, Options{})
 	if tr.Quantile(0.5) != 0 {
-		t.Fatal("quantile of empty window should be 0")
+		t.Fatal("quantile of empty histogram should be 0")
+	}
+}
+
+// An injected shared histogram is read-only for the tracker: the owner
+// records observations, the tracker serves quantiles from it, and
+// ObserveOK must not double-record.
+func TestInjectedLatencyHistogram(t *testing.T) {
+	h := obs.NewHistogram()
+	clk := &fakeClock{}
+	tr := New(2, clk.Now, Options{Latency: h})
+	tr.ObserveOK(0, 10*time.Millisecond)
+	if h.Count() != 0 {
+		t.Fatalf("tracker recorded %d samples into an injected histogram (owner records)", h.Count())
+	}
+	h.ObserveDuration(10 * time.Millisecond)
+	h.ObserveDuration(30 * time.Millisecond)
+	if lo, hi := tr.Quantile(0), tr.Quantile(1); lo != 10*time.Millisecond || hi != 30*time.Millisecond {
+		t.Fatalf("quantiles from injected histogram = %v..%v", lo, hi)
+	}
+}
+
+// Breaker life-cycle events land in an injected trace ring.
+func TestBreakerTraceEvents(t *testing.T) {
+	clk := &fakeClock{}
+	trace := obs.NewTrace(16, clk.Now)
+	tr := New(2, clk.Now, Options{ErrThreshold: 1, OpenTimeout: 100 * time.Millisecond, Trace: trace})
+	tr.ObserveErr(0)
+	clk.Advance(150 * time.Millisecond)
+	if !tr.Route(0) {
+		t.Fatal("probe should be granted")
+	}
+	tr.ObserveOK(0, time.Millisecond)
+	kinds := make(map[string]int)
+	for _, ev := range trace.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []string{"resil.breaker.trip", "resil.breaker.probe", "resil.breaker.close"} {
+		if kinds[k] == 0 {
+			t.Fatalf("missing trace event %s; got %v", k, kinds)
+		}
 	}
 }
 

@@ -59,6 +59,8 @@ func TestBurstDrainCrashSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	dumpTraceOnFailure(t, "staging", smgr.Obs())
+	dumpTraceOnFailure(t, "durable", dmgr.Obs())
 	tier := burst.New(staging, durable, burst.Options{}) // inline drain: deterministic
 
 	allSteps := map[int64]map[string][]byte{}

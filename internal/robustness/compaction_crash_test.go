@@ -40,6 +40,7 @@ func TestCompactionCrashSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	dumpTraceOnFailure(t, "", db.Obs())
 
 	var ops []lsmOp
 	put := func(key, value string) {

@@ -49,6 +49,7 @@ func TestLSMCrashSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	dumpTraceOnFailure(t, "", db.Obs())
 
 	var ops []lsmOp
 	ack := func(key, value string, del bool) {

@@ -69,6 +69,7 @@ func runDegradedCheckpoints(t *testing.T, hedge bool, slowFactor float64, killMi
 	t.Helper()
 	k := sim.NewKernel()
 	cluster := pfs.NewCluster(k, degClusterConfig())
+	dumpTraceOnFailure(t, "", cluster.Obs())
 	cluster.EnableResilience(pfs.Resilience{
 		Hedge:  hedge,
 		Parity: true,
@@ -332,6 +333,7 @@ func TestBurstDrainFailureClassification(t *testing.T) {
 	t.Run("target-down", func(t *testing.T) {
 		k := sim.NewKernel()
 		cluster := pfs.NewCluster(k, cfg)
+		dumpTraceOnFailure(t, "", cluster.Obs())
 		var cnt burst.Counters
 		k.Spawn("main", func(*sim.Proc) {
 			tier, _, _, err := burstOverCluster(k, cluster.Client(0))
@@ -362,6 +364,7 @@ func TestBurstDrainFailureClassification(t *testing.T) {
 	t.Run("transient-exhausted", func(t *testing.T) {
 		k := sim.NewKernel()
 		cluster := pfs.NewCluster(k, cfg)
+		dumpTraceOnFailure(t, "", cluster.Obs())
 		var cnt burst.Counters
 		k.Spawn("main", func(*sim.Proc) {
 			tier, _, _, err := burstOverCluster(k, cluster.Client(0))
@@ -392,6 +395,7 @@ func TestBurstDrainFailureClassification(t *testing.T) {
 	t.Run("parity-absorbs-dead-target", func(t *testing.T) {
 		k := sim.NewKernel()
 		cluster := pfs.NewCluster(k, cfg)
+		dumpTraceOnFailure(t, "", cluster.Obs())
 		cluster.EnableResilience(pfs.Resilience{Parity: true})
 		var cnt burst.Counters
 		k.Spawn("main", func(*sim.Proc) {

@@ -35,6 +35,7 @@ import (
 	"lsmio/internal/core"
 	"lsmio/internal/lsm"
 	"lsmio/internal/lsmioplugin"
+	"lsmio/internal/obs"
 	"lsmio/internal/vfs"
 )
 
@@ -85,6 +86,17 @@ type (
 	Iterator = lsm.Iterator
 	// DBSnapshot is a consistent point-in-time read view of a DB.
 	DBSnapshot = lsm.Snapshot
+
+	// MetricsRegistry is the unified metrics/trace registry every layer
+	// records into (internal/obs). A Manager's registry covers the
+	// `core.*` session counters and the engine's `lsm.*` statistics.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's
+	// instruments, with Delta/Merge/Tree/WriteTable views.
+	MetricsSnapshot = obs.Snapshot
+	// TraceEvent is one structured event from a registry's bounded
+	// trace ring (flushes, compactions, stalls, hedges, drains...).
+	TraceEvent = obs.Event
 )
 
 // CompressionCodec names a block-compression algorithm for the engine.
