@@ -92,6 +92,16 @@ func (s *Store) dataPrefix(step int64) string {
 	return fmt.Sprintf("%s/data/%016d/", s.pfx, step)
 }
 
+// digestKey holds the CRC32 of the step's manifest blob (decimal
+// string). The per-variable CRCs only cover payloads; the digest covers
+// the manifest itself, so a damaged manifest that still parses (e.g. a
+// truncated Vars list that is valid JSON) cannot silently narrow a
+// step. Steps committed before digests existed have no digest key and
+// are accepted as legacy.
+func (s *Store) digestKey(step int64) string {
+	return fmt.Sprintf("%s/digest/%016d", s.pfx, step)
+}
+
 // Checkpoint is an in-progress checkpoint; call Commit to publish it.
 type Checkpoint struct {
 	s         *Store
@@ -145,6 +155,13 @@ func (c *Checkpoint) Commit() error {
 		return err
 	}
 	if err := c.s.mgr.Put(c.s.manifestKey(c.step), blob); err != nil {
+		return err
+	}
+	// Manifest digest, same barrier window as the manifest: a crash
+	// between the two leaves a manifest without a digest, which reads as
+	// a (valid) legacy step.
+	digest := strconv.FormatUint(uint64(crc32.ChecksumIEEE(blob)), 10)
+	if err := c.s.mgr.Put(c.s.digestKey(c.step), []byte(digest)); err != nil {
 		return err
 	}
 	if err := c.s.mgr.WriteBarrier(); err != nil {
@@ -230,6 +247,17 @@ func (s *Store) loadManifest(step int64) (*manifest, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Digest check before parsing: a present-but-mismatched digest marks
+	// the manifest itself damaged. A missing digest is a legacy step.
+	if want, derr := s.mgr.Get(s.digestKey(step)); derr == nil {
+		got := strconv.FormatUint(uint64(crc32.ChecksumIEEE(blob)), 10)
+		if got != string(want) {
+			return nil, fmt.Errorf("%w: manifest digest mismatch for step %d (store key %s): recorded %s, computed %s",
+				ErrCorrupt, step, s.manifestKey(step), want, got)
+		}
+	} else if !errors.Is(derr, core.ErrNotFound) {
+		return nil, derr
 	}
 	var m manifest
 	if err := json.Unmarshal(blob, &m); err != nil {
@@ -338,6 +366,9 @@ func (s *Store) Drop(step int64) error {
 	// Delete the manifest first so a crash mid-drop cannot leave a
 	// manifest pointing at missing data.
 	if err := s.mgr.Del(s.manifestKey(step)); err != nil {
+		return err
+	}
+	if err := s.mgr.Del(s.digestKey(step)); err != nil {
 		return err
 	}
 	return s.deleteStepData(step, m.Vars)

@@ -19,6 +19,17 @@ type ckptMetrics struct {
 	// restart means the newest checkpoint was lost.
 	restoreFallbacks *obs.Counter
 
+	// Restore pipeline instruments: completed restores, journal-driven
+	// resumes after a crashed restore, bytes read from the store vs
+	// bytes reused from a local delta snapshot, and the end-to-end
+	// restore latency distribution (p50/p99 feed the ext-restore bench).
+	restores          *obs.Counter
+	restoreResumes    *obs.Counter
+	restoreBytes      *obs.Counter
+	restoreDeltaVars  *obs.Counter
+	restoreDeltaBytes *obs.Counter
+	restoreLatency    *obs.Histogram
+
 	scrubVerified      *obs.Counter
 	scrubRepaired      *obs.Counter
 	scrubUnrecoverable *obs.Counter
@@ -34,6 +45,13 @@ func newCkptMetrics(reg *obs.Registry) ckptMetrics {
 		unquarantines: s.Counter("unquarantines"),
 
 		restoreFallbacks: s.Counter("restore.fallbacks"),
+
+		restores:          s.Counter("restore.count"),
+		restoreResumes:    s.Counter("restore.resumes"),
+		restoreBytes:      s.Counter("restore.bytes"),
+		restoreDeltaVars:  s.Counter("restore.delta.vars"),
+		restoreDeltaBytes: s.Counter("restore.delta.bytes"),
+		restoreLatency:    s.Histogram("restore.latency"),
 
 		scrubVerified:      s.Counter("scrub.verified"),
 		scrubRepaired:      s.Counter("scrub.repaired"),

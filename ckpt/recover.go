@@ -163,34 +163,10 @@ func (s *Store) Scrub() (ScrubReport, error) {
 // RestoreLatest restores the newest fully-verified checkpoint. Steps that
 // fail verification (corrupt or incomplete) are quarantined with the
 // failure as the reason, and the search falls back to the next-newest
-// step. It returns ErrNoCheckpoint when no step survives.
+// step. It returns ErrNoCheckpoint when no step survives. It is the
+// zero-options entry to the Restore pipeline (restore.go): serial,
+// no journal, no delta snapshot.
 func (s *Store) RestoreLatest() (int64, map[string][]byte, error) {
-	steps, err := s.Steps()
-	if err != nil {
-		return 0, nil, err
-	}
-	quarantined, err := s.Quarantined()
-	if err != nil {
-		return 0, nil, err
-	}
-	for i := len(steps) - 1; i >= 0; i-- {
-		step := steps[i]
-		if _, bad := quarantined[step]; bad {
-			continue
-		}
-		state, rerr := s.ReadAll(step)
-		if rerr == nil {
-			return step, state, nil
-		}
-		if errors.Is(rerr, ErrCorrupt) || errors.Is(rerr, ErrIncomplete) {
-			if qerr := s.Quarantine(step, rerr.Error()); qerr != nil {
-				return 0, nil, qerr
-			}
-			s.m.restoreFallbacks.Inc()
-			s.m.trace.Emitf("ckpt.restore.fallback", "step=%d err=%v", step, rerr)
-			continue
-		}
-		return 0, nil, rerr
-	}
-	return 0, nil, ErrNoCheckpoint
+	step, state, _, err := s.Restore(RestoreOptions{})
+	return step, state, err
 }

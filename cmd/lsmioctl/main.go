@@ -36,7 +36,13 @@ commands:
   property <name>     print an engine property (lsmio.last-sequence, ...)
   repair              rebuild CURRENT/MANIFEST from surviving tables and logs
   scrub [prefix]      verify every checkpoint step (default prefix "ckpt"),
-                      quarantining damaged steps and unquarantining repaired ones`)
+                      quarantining damaged steps and unquarantining repaired ones
+  restore [-verify] [-json] [-parallel n] [prefix]
+                      restore the newest fully-verified checkpoint through the
+                      self-healing pipeline (journaled, damaged steps are
+                      quarantined and skipped); -verify re-verifies the restored
+                      step end-to-end afterwards, -json prints the restore
+                      report as JSON`)
 	os.Exit(2)
 }
 
@@ -119,6 +125,13 @@ func main() {
 		if rep.Unrecoverable > 0 {
 			os.Exit(1)
 		}
+		return
+	}
+	// Restore runs the self-healing restore pipeline: parallel verified
+	// reads, quarantine-and-fallback past damaged steps, and a journal so
+	// an interrupted invocation resumes where it left off.
+	if flag.Arg(0) == "restore" {
+		restoreCmd(fs, flag.Args()[1:])
 		return
 	}
 	// Open the engine directly so scan/compact are available; the

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"lsmio"
+	"lsmio/ckpt"
+)
+
+// restoreCmd implements `lsmioctl restore [-verify] [-json] [-parallel n]
+// [prefix]`: restore the newest fully-verified checkpoint through the
+// self-healing pipeline. Damaged steps are quarantined and skipped, the
+// journal makes an interrupted invocation resumable, and the exit code
+// tells scripts whether a usable checkpoint exists. The restored state
+// itself is not written anywhere — the command is the operator's dry-run
+// of exactly what an application's RestoreLatest would load.
+func restoreCmd(fs lsmio.FS, args []string) {
+	fset := flag.NewFlagSet("restore", flag.ExitOnError)
+	verify := fset.Bool("verify", false, "re-verify the restored step end-to-end afterwards")
+	asJSON := fset.Bool("json", false, "emit the restore report as JSON")
+	parallel := fset.Int("parallel", 4, "worker-pool width for per-variable reads")
+	fset.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lsmioctl -dir <store> restore [-verify] [-json] [-parallel <n>] [prefix]")
+		fset.PrintDefaults()
+		os.Exit(2)
+	}
+	fset.Parse(args)
+
+	mgr, err := lsmio.NewManager("store", lsmio.ManagerOptions{
+		Store: lsmio.StoreOptions{FS: fs},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsmioctl:", err)
+		os.Exit(1)
+	}
+	die := func(err error) {
+		mgr.Close()
+		fmt.Fprintln(os.Stderr, "lsmioctl:", err)
+		os.Exit(1)
+	}
+	store := ckpt.New(mgr, ckpt.Options{Prefix: fset.Arg(0)})
+	step, state, rep, err := store.Restore(ckpt.RestoreOptions{
+		Parallel: *parallel,
+		Journal:  true,
+	})
+	if errors.Is(err, ckpt.ErrNoCheckpoint) {
+		fmt.Fprintln(os.Stderr, "lsmioctl: no restorable checkpoint")
+		mgr.Close()
+		os.Exit(1)
+	}
+	if err != nil {
+		die(err)
+	}
+	if *verify {
+		if err := store.Verify(step); err != nil {
+			die(fmt.Errorf("post-restore verify of step %d: %w", step, err))
+		}
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("restored step %d: %d variable(s), %d byte(s) read", step, rep.Vars, rep.BytesRead)
+		if rep.DeltaVars > 0 {
+			fmt.Printf(", %d reused from local snapshot", rep.DeltaVars)
+		}
+		if rep.Resumed {
+			fmt.Print(", resumed from journal")
+		}
+		fmt.Printf(" in %v\n", rep.Elapsed)
+		for _, q := range rep.Quarantined {
+			fmt.Printf("  quarantined step %d on the way\n", q)
+		}
+		var total int64
+		for _, data := range state {
+			total += int64(len(data))
+		}
+		fmt.Printf("  state: %d variable(s), %d byte(s)\n", len(state), total)
+		if *verify {
+			fmt.Printf("  step %d re-verified end-to-end\n", step)
+		}
+	}
+	if err := mgr.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "lsmioctl:", err)
+		os.Exit(1)
+	}
+}

@@ -33,12 +33,14 @@
 package burst
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"lsmio/ckpt"
 	"lsmio/internal/obs"
+	"lsmio/internal/resil"
 	"lsmio/internal/sim"
 )
 
@@ -56,6 +58,21 @@ type Options struct {
 	// drain worker is then a simulation process and all waits park the
 	// calling process. Nil outside the simulator (goroutine worker).
 	Kernel *sim.Kernel
+	// DrainPolicy is the shared resil retry/timeout discipline applied
+	// to each step's drain: transient failures (e.g. a PFS retry budget
+	// exhausted on a flaky target) are retried with deterministic
+	// backoff, and Policy.Timeout bounds one step's whole drain —
+	// attempts plus backoffs — on the tier's clock, failing the step
+	// with an error wrapping context.DeadlineExceeded on expiry. The
+	// zero value keeps the historical behavior: one attempt, no
+	// deadline.
+	DrainPolicy resil.Policy
+	// DrainCtx, when set, cancels draining cooperatively: the context
+	// is checked between drain attempts (an attempt in flight is never
+	// interrupted) and a canceled context fails the step with the
+	// context error, classified ClassCanceled and never retried. Nil
+	// means no cancellation.
+	DrainCtx context.Context
 	// Obs is the metrics/trace registry the tier records into, under the
 	// `burst.` prefix. Nil creates a private registry clocked by the
 	// tier's own monotonic clock; callers that manage several subsystems
@@ -78,7 +95,12 @@ type Counters struct {
 	// distinction tells operators whether to wait or to re-stripe.
 	DrainTransient  int64
 	DrainTargetDown int64
-	PendingSteps    int64 // staged, not yet drained
+	// DrainCanceled counts drains failed by DrainCtx cancellation or a
+	// DrainPolicy.Timeout deadline; DrainRetries counts policy-level
+	// retry decisions (whole drainStep re-runs, not pfs RPC retries).
+	DrainCanceled int64
+	DrainRetries  int64
+	PendingSteps  int64 // staged, not yet drained
 	PendingBytes int64
 	HighWater    int64         // max PendingBytes ever observed
 	StallTime    time.Duration // Commit time blocked on the staging budget
@@ -215,6 +237,8 @@ func (t *Tier) Counters() Counters {
 		DrainErrors:     t.m.drainErrors.Load(),
 		DrainTransient:  t.m.drainTransient.Load(),
 		DrainTargetDown: t.m.drainTargetDown.Load(),
+		DrainCanceled:   t.m.drainCanceled.Load(),
+		DrainRetries:    t.m.drainRetries.Load(),
 		PendingSteps:    int64(len(t.queue) + t.inFlight),
 		PendingBytes:    t.pendingBytes,
 		HighWater:       t.m.highWater.Load(),

@@ -7,22 +7,23 @@ import (
 	"time"
 
 	"lsmio/ckpt"
+	"lsmio/internal/resil"
 	"lsmio/internal/sim"
 )
 
-// isTransientFault reports whether err (anywhere in its chain) marks
-// itself retryable, e.g. a PFS retry budget exhausted on transient OST
-// faults.
-func isTransientFault(err error) bool {
-	var t interface{ TransientFault() bool }
-	return errors.As(err, &t) && t.TransientFault()
-}
+// tierClock adapts the tier's monotonic clock (virtual time inside the
+// simulator, wall time outside) to the resil.Clock the drain policy
+// runs on. Sleep charges backoff to the draining process.
+type tierClock struct{ t *Tier }
 
-// isTargetDown reports whether err marks a down storage target, e.g. a
-// write refused because an OST is dead (pfs.DeadOSTError).
-func isTargetDown(err error) bool {
-	var t interface{ TargetDown() bool }
-	return errors.As(err, &t) && t.TargetDown()
+func (c tierClock) Now() time.Duration { return c.t.now() }
+
+func (c tierClock) Sleep(d time.Duration) {
+	if c.t.k != nil {
+		c.t.k.Current().Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // StartWorker launches the background drain worker: a daemon
@@ -67,7 +68,7 @@ func (t *Tier) runWorker(sleep func(time.Duration)) {
 		t.unlock()
 
 		start := t.now()
-		err := t.drainStep(item)
+		err := t.drain(item)
 		if err == nil && t.opts.DrainRate > 0 {
 			// Rate limit: stretch this step's drain to at least
 			// bytes/DrainRate so the PFS keeps headroom for the
@@ -80,6 +81,23 @@ func (t *Tier) runWorker(sleep func(time.Duration)) {
 		}
 		t.finish(item, err)
 	}
+}
+
+// drain runs one step's drainStep under Options.DrainPolicy: transient
+// failures retry with deterministic per-step backoff seeds, while
+// DrainCtx cancellation and the policy deadline fail the step with an
+// error classified ClassCanceled. drainStep is idempotent, so a retry
+// after a partial durable write re-verifies and resumes cleanly.
+func (t *Tier) drain(item stagedStep) error {
+	p := t.opts.DrainPolicy
+	p.OnRetry = func(attempt int, err error) {
+		t.m.drainRetries.Inc()
+		t.m.trace.Emitf("burst.drain.retry", "step=%d attempt=%d err=%v", item.step, attempt+1, err)
+	}
+	seed := uint64(item.step+1) * 0x9e3779b97f4a7c15
+	return p.Do(t.opts.DrainCtx, tierClock{t}, seed, func(int) error {
+		return t.drainStep(item)
+	})
 }
 
 // drainStep copies one staged step into the durable store and drops
@@ -133,14 +151,16 @@ func (t *Tier) finish(item stagedStep, err error) {
 			t.lastErr = err
 		}
 		t.m.drainErrors.Inc()
-		// Classify via the error's self-markers so operators can tell a
-		// flaky target (wait and retry) from a dead one (re-stripe): both
-		// markers are method interfaces, so no storage-layer import.
-		switch {
-		case isTargetDown(err):
+		// Classify on the shared resil taxonomy so operators can tell a
+		// flaky target (wait and retry) from a dead one (re-stripe) from
+		// a canceled or timed-out drain (deliberate; re-queue later).
+		switch resil.Classify(err) {
+		case resil.ClassTargetDown:
 			t.m.drainTargetDown.Inc()
-		case isTransientFault(err):
+		case resil.ClassTransient:
 			t.m.drainTransient.Inc()
+		case resil.ClassCanceled:
+			t.m.drainCanceled.Inc()
 		}
 	} else {
 		t.m.drainedSteps.Inc()
@@ -177,7 +197,7 @@ func (t *Tier) DrainPending(max int) (int, error) {
 		t.queue = t.queue[1:]
 		t.inFlight++
 		t.unlock()
-		err := t.drainStep(item)
+		err := t.drain(item)
 		t.finish(item, err)
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -292,27 +312,39 @@ func (t *Tier) Recover() error {
 	return nil
 }
 
-// RestoreLatest restores the newest usable checkpoint across both
-// tiers — the staged image when it is newer than anything durable,
-// the durable image otherwise. The restored image always comes wholly
-// from one tier, never a mix of a partially-drained step.
-func (t *Tier) RestoreLatest() (int64, map[string][]byte, error) {
-	sStep, sVars, sErr := t.staging.RestoreLatest()
+// Restore routes a restore through the self-healing ckpt pipeline on
+// both tiers and returns the newest usable checkpoint — the staged
+// image when it is newer than anything durable, the durable image
+// otherwise. Each tier independently gets the full pipeline (parallel
+// verified reads, quarantine-and-fallback, optional journal and delta
+// snapshot from opts), but the restored image always comes wholly from
+// one tier, never a mix of a partially-drained step. The returned
+// report is the winning tier's.
+func (t *Tier) Restore(opts ckpt.RestoreOptions) (int64, map[string][]byte, *ckpt.RestoreReport, error) {
+	sStep, sVars, sRep, sErr := t.staging.Restore(opts)
 	if sErr != nil && !errors.Is(sErr, ckpt.ErrNoCheckpoint) {
-		return 0, nil, sErr
+		return 0, nil, sRep, sErr
 	}
-	dStep, dVars, dErr := t.durable.RestoreLatest()
+	dStep, dVars, dRep, dErr := t.durable.Restore(opts)
 	if dErr != nil && !errors.Is(dErr, ckpt.ErrNoCheckpoint) {
-		return 0, nil, dErr
+		return 0, nil, dRep, dErr
 	}
 	switch {
 	case sErr == nil && (dErr != nil || sStep >= dStep):
-		return sStep, sVars, nil
+		return sStep, sVars, sRep, nil
 	case dErr == nil:
-		return dStep, dVars, nil
+		return dStep, dVars, dRep, nil
 	default:
-		return 0, nil, ckpt.ErrNoCheckpoint
+		return 0, nil, nil, ckpt.ErrNoCheckpoint
 	}
+}
+
+// RestoreLatest restores the newest usable checkpoint across both
+// tiers with default pipeline options (serial, no journal, no delta
+// snapshot).
+func (t *Tier) RestoreLatest() (int64, map[string][]byte, error) {
+	step, vars, _, err := t.Restore(ckpt.RestoreOptions{})
+	return step, vars, err
 }
 
 // twoPhase adapts the tier to the ckpt.TwoPhase interface.

@@ -17,6 +17,8 @@ type tierMetrics struct {
 	drainErrors     *obs.Counter
 	drainTransient  *obs.Counter
 	drainTargetDown *obs.Counter
+	drainCanceled   *obs.Counter
+	drainRetries    *obs.Counter
 
 	// pendingBytes mirrors the tier's internal backpressure accounting
 	// (the authoritative field also drives admission control); highWater
@@ -45,6 +47,8 @@ func newTierMetrics(reg *obs.Registry) tierMetrics {
 		drainErrors:     s.Counter("drain.errors"),
 		drainTransient:  s.Counter("drain.transient"),
 		drainTargetDown: s.Counter("drain.target_down"),
+		drainCanceled:   s.Counter("drain.canceled"),
+		drainRetries:    s.Counter("drain.retries"),
 
 		pendingBytes: s.Gauge("pending.bytes"),
 		highWater:    s.Gauge("pending.high_water"),

@@ -298,6 +298,11 @@ func (m *Manager) Obs() *obs.Registry { return m.reg }
 // everything).
 func (m *Manager) ResetCounters() { m.reg.ResetPrefix("core.") }
 
+// Kernel returns the simulation kernel the manager charges CPU costs
+// to, nil outside the simulator. Layers above (e.g. the ckpt parallel
+// restore pool) use it to run their workers as simulation processes.
+func (m *Manager) Kernel() *sim.Kernel { return m.kern }
+
 // EngineStats exposes the LSM engine's counters.
 func (m *Manager) EngineStats() lsm.Stats { return m.store.EngineStats() }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -337,7 +338,8 @@ func TestWALCorruptCRCStopsReplay(t *testing.T) {
 
 func TestBlockCacheLRU(t *testing.T) {
 	var hits, misses obs.Counter
-	c := newBlockCache(100, &hits, &misses)
+	// One shard: exact global LRU order, so eviction is deterministic.
+	c := newBlockCacheShards(100, 1, &hits, &misses)
 	b := &block{}
 	c.put(1, 0, b, 40)
 	c.put(1, 40, b, 40)
@@ -355,6 +357,55 @@ func TestBlockCacheLRU(t *testing.T) {
 	c.evictFile(1)
 	if _, ok := c.get(1, 0); ok {
 		t.Fatal("evictFile should drop everything")
+	}
+	if hits.Load() == 0 || misses.Load() == 0 {
+		t.Fatalf("stats: hits=%d misses=%d", hits.Load(), misses.Load())
+	}
+}
+
+// TestBlockCacheShardedConcurrent hammers the sharded cache from many
+// goroutines (get/put/evictFile interleaved) and then checks the
+// bookkeeping invariants shard by shard. Run under -race this is the
+// lock-contention regression test for the parallel restore read path.
+func TestBlockCacheShardedConcurrent(t *testing.T) {
+	var hits, misses obs.Counter
+	c := newBlockCache(1<<16, &hits, &misses)
+	b := &block{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				fileNum := uint64(g%4 + 1)
+				off := int64(i%64) * 512
+				c.put(fileNum, off, b, 256)
+				c.get(fileNum, off)
+				c.get(uint64(g+10), int64(i)) // guaranteed miss
+				if i%500 == 499 {
+					c.evictFile(fileNum)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.used > s.capacity && s.order.Len() > 1 {
+			t.Fatalf("shard %d over capacity: used=%d cap=%d entries=%d",
+				i, s.used, s.capacity, s.order.Len())
+		}
+		if s.order.Len() != len(s.items) {
+			t.Fatalf("shard %d list/map mismatch: %d vs %d", i, s.order.Len(), len(s.items))
+		}
+		var sum int64
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			sum += el.Value.(*cacheEntry).size
+		}
+		if sum != s.used {
+			t.Fatalf("shard %d used accounting drifted: %d vs %d", i, s.used, sum)
+		}
 	}
 	if hits.Load() == 0 || misses.Load() == 0 {
 		t.Fatalf("stats: hits=%d misses=%d", hits.Load(), misses.Load())

@@ -1,7 +1,6 @@
 package pfs
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -56,30 +55,32 @@ type FaultFunc func(write bool, ostIdx int, attempt int) error
 // hook. Tests use it to model failing or flaky OSTs.
 func (c *Cluster) InjectFaults(fn FaultFunc) { c.faultFn = fn }
 
-// transientFault reports whether err marks itself retryable.
-func transientFault(err error) bool {
-	var t interface{ TransientFault() bool }
-	return errors.As(err, &t) && t.TransientFault()
+// procClock adapts the calling simulation process to resil.Clock, so
+// policy backoffs are charged on the virtual clock.
+type procClock struct{ p *sim.Proc }
+
+func (c procClock) Now() time.Duration    { return c.p.Now().Duration() }
+func (c procClock) Sleep(d time.Duration) { c.p.Sleep(d) }
+
+// retryPolicy builds the cluster's RPC retry discipline from the Config
+// knobs. Both the read and the write path run every OST attempt under
+// this one resil.Policy, so transient vs target-down vs fatal faults
+// classify identically across tiers; OnRetry feeds the pfs.retries
+// counter exactly once per backoff.
+func (c *Cluster) retryPolicy() resil.Policy {
+	return resil.Policy{
+		MaxRetries: c.cfg.RetryMax,
+		BaseDelay:  c.cfg.RetryBaseDelay,
+		MaxDelay:   c.cfg.RetryMaxDelay,
+		OnRetry:    func(int, error) { c.m.retries.Inc() },
+	}
 }
 
-// retryBackoff computes the delay before retry number attempt+1:
-// exponential from RetryBaseDelay, capped at RetryMaxDelay, with a
-// deterministic jitter factor in [0.5, 1.5) derived from the attempt,
-// the OST, and the global retry count — no real-time randomness, so
-// simulations stay reproducible.
-func (c *Cluster) retryBackoff(attempt, ostIdx int) time.Duration {
-	d := c.cfg.RetryBaseDelay << uint(attempt)
-	if d > c.cfg.RetryMaxDelay || d <= 0 {
-		d = c.cfg.RetryMaxDelay
-	}
-	h := uint64(ostIdx+1)*0x9e3779b97f4a7c15 +
-		uint64(attempt+1)*0xbf58476d1ce4e5b9 +
-		uint64(c.m.retries.Load())*0x94d049bb133111eb
-	h ^= h >> 31
-	h *= 0x9e3779b97f4a7c15
-	h ^= h >> 29
-	frac := float64(h%1024) / 1024.0
-	return time.Duration(float64(d) * (0.5 + frac))
+// retrySeed derives the deterministic jitter seed for one OST's retry
+// sequence from the OST and the global retry count — no real-time
+// randomness, so simulations stay reproducible.
+func (c *Cluster) retrySeed(ostIdx int) uint64 {
+	return uint64(ostIdx+1)*0x94d049bb133111eb + uint64(c.m.retries.Load()+1)
 }
 
 // layout is a file's stripe mapping, fixed at creation (Lustre semantics).
@@ -499,7 +500,10 @@ func (c *Cluster) writeRun(p *sim.Proc, client int, l *layout, r run, allowHedge
 			return 0, &DeadOSTError{OST: r.ostIdx}
 		}
 	}
-	for attempt := 0; ; attempt++ {
+	var done sim.Time
+	attempts := 0
+	err := c.retryPolicy().Do(nil, procClock{p}, c.retrySeed(r.ostIdx), func(attempt int) error {
+		attempts = attempt + 1
 		c.m.writeOps.Inc()
 		p.Sleep(c.cfg.ClientRPCOverhead)
 		// Wire to the OSS.
@@ -507,19 +511,13 @@ func (c *Cluster) writeRun(p *sim.Proc, client int, l *layout, r run, allowHedge
 		c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), r.n)
 		if o.health == OSTDead {
 			c.observeErr(r.ostIdx)
-			return 0, &DeadOSTError{OST: r.ostIdx}
+			return &DeadOSTError{OST: r.ostIdx}
 		}
 		if c.faultFn != nil {
 			if err := c.faultFn(true, r.ostIdx, attempt); err != nil {
 				c.m.faults.Inc()
 				c.observeErr(r.ostIdx)
-				if transientFault(err) && attempt < c.cfg.RetryMax {
-					c.m.retries.Inc()
-					p.Sleep(c.retryBackoff(attempt, r.ostIdx))
-					continue
-				}
-				return 0, fmt.Errorf("pfs: write to OST %d failed after %d attempt(s): %w",
-					r.ostIdx, attempt+1, err)
+				return err
 			}
 		}
 		// OSS backend, then OST, asynchronously from the client.
@@ -532,7 +530,7 @@ func (c *Cluster) writeRun(p *sim.Proc, client int, l *layout, r run, allowHedge
 		// straggler's latency through the spare, hold its EWMA down, and
 		// keep the slow-trip breaker from ever opening.
 		c.observeOK(r.ostIdx, primaryDone.Sub(start))
-		done := primaryDone
+		done = primaryDone
 		if allowHedge {
 			done = c.maybeHedge(p, client, l, r, start, primaryDone)
 		}
@@ -545,8 +543,16 @@ func (c *Cluster) writeRun(p *sim.Proc, client int, l *layout, r run, allowHedge
 			c.m.clientStalls.Inc()
 			p.Sleep(lag - c.cfg.MaxDirtyLag)
 		}
-		return done, nil
+		return nil
+	})
+	if err != nil {
+		if resil.Classify(err) == resil.ClassTargetDown {
+			return 0, err // dead target: callers may absorb via parity
+		}
+		return 0, fmt.Errorf("pfs: write to OST %d failed after %d attempt(s): %w",
+			r.ostIdx, attempts, err)
 	}
+	return done, nil
 }
 
 // chargeRead books a synchronous client read, with the same transient
@@ -573,25 +579,28 @@ func (c *Cluster) chargeRead(p *sim.Proc, client int, l *layout, off, n int64) e
 	return nil
 }
 
-// readRun ships one contiguous read run with the transient-retry policy.
+// readRun ships one contiguous read run under the same resil.Policy as
+// the write path: transient faults are retried with deterministic
+// backoff on the virtual clock, dead targets and fatal faults surface
+// immediately.
 func (c *Cluster) readRun(p *sim.Proc, client int, l *layout, r run) error {
-	for attempt := 0; ; attempt++ {
+	attempts := 0
+	err := c.retryPolicy().Do(nil, procClock{p}, c.retrySeed(r.ostIdx), func(attempt int) error {
+		attempts = attempt + 1
 		c.m.readOps.Inc()
 		p.Sleep(c.cfg.ClientRPCOverhead)
 		ossIdx := c.ossOf(r.ostIdx)
 		// Request travels to the OSS (small), data comes back.
 		c.fabric.Transfer(p, client, c.ossNodeID(ossIdx), 128)
+		if c.osts[r.ostIdx].health == OSTDead {
+			c.observeErr(r.ostIdx)
+			return &DeadOSTError{OST: r.ostIdx}
+		}
 		if c.faultFn != nil {
 			if err := c.faultFn(false, r.ostIdx, attempt); err != nil {
 				c.m.faults.Inc()
 				c.observeErr(r.ostIdx)
-				if transientFault(err) && attempt < c.cfg.RetryMax {
-					c.m.retries.Inc()
-					p.Sleep(c.retryBackoff(attempt, r.ostIdx))
-					continue
-				}
-				return fmt.Errorf("pfs: read from OST %d failed after %d attempt(s): %w",
-					r.ostIdx, attempt+1, err)
+				return err
 			}
 		}
 		start := p.Now()
@@ -605,7 +614,15 @@ func (c *Cluster) readRun(p *sim.Proc, client int, l *layout, r run) error {
 		// Client-side copy out of the reply.
 		p.Sleep(time.Duration(float64(r.n) / c.cfg.ClientStreamBW * 1e9))
 		return nil
+	})
+	if err != nil {
+		if resil.Classify(err) == resil.ClassTargetDown {
+			return fmt.Errorf("pfs: read of %d bytes unavailable: %w", r.n, err)
+		}
+		return fmt.Errorf("pfs: read from OST %d failed after %d attempt(s): %w",
+			r.ostIdx, attempts, err)
 	}
+	return nil
 }
 
 // OSTUtilization returns each OST's busy time as a fraction of elapsed

@@ -167,6 +167,56 @@ func TestTransientReadFaultIsRetried(t *testing.T) {
 	}
 }
 
+// TestReadRetryBudgetExhaustion is the regression test for routing the
+// read path through resil.Policy: a persistently flaky OST consumes the
+// whole retry budget with backoff charged on the virtual clock, then
+// surfaces the classified transient error — it must not succeed, must
+// not retry forever, and must report every attempt.
+func TestReadRetryBudgetExhaustion(t *testing.T) {
+	cfg := faultTestConfig()
+	var elapsed time.Duration
+	c := runOnCluster(t, cfg, func(c *Cluster, fs *ClientFS) {
+		f, err := fs.Create("data")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		f.Write(make([]byte, 4096))
+		if err := f.Sync(); err != nil {
+			t.Errorf("sync: %v", err)
+			return
+		}
+		c.InjectFaults(func(write bool, ostIdx, attempt int) error {
+			if !write {
+				return &faultfs.InjectedError{Op: faultfs.OpRead, Transient: true}
+			}
+			return nil
+		})
+		p := c.Kernel().Current()
+		start := p.Now()
+		_, err = f.ReadAt(make([]byte, 4096), 0)
+		elapsed = p.Now().Sub(start)
+		if err == nil {
+			t.Error("read succeeded with every attempt faulting")
+			return
+		}
+		if !errors.Is(err, faultfs.ErrInjected) {
+			t.Errorf("error does not unwrap to ErrInjected: %v", err)
+		}
+		if !strings.Contains(err.Error(), "after 4 attempt") {
+			t.Errorf("want read failure after RetryMax+1 = 4 attempts, got: %v", err)
+		}
+	})
+	st := c.Stats()
+	if st.Retries != int64(cfg.RetryMax) {
+		t.Fatalf("Retries = %d, want %d", st.Retries, cfg.RetryMax)
+	}
+	// Jitter floor: 3 backoffs of at least 0.5×(1ms, 2ms, 4ms).
+	if min := 3500 * time.Microsecond; elapsed < min {
+		t.Fatalf("virtual time across read retries = %v, want ≥ %v", elapsed, min)
+	}
+}
+
 func TestBackoffIsDeterministic(t *testing.T) {
 	run := func() (time.Duration, error) {
 		k := sim.NewKernel()
