@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench bench-smoke obs-smoke restore-chaos
+.PHONY: build test check race vet bench bench-smoke obs-smoke restore-chaos svc-smoke
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,15 @@ race:
 # enumeration sweeps in internal/robustness) under the race detector,
 # plus a quick-scale end-to-end smoke of the extension figures and an
 # observability check over their emitted JSON.
-check: vet race restore-chaos obs-smoke
+check: vet race restore-chaos svc-smoke obs-smoke
+
+# Multi-tenant service smoke: a simulated lsmiod session with four
+# behaved tenants beside a flooding noisy neighbor must keep the
+# behaved p99 commit latency within 2x the solo baseline — the
+# fair-share admission guarantee, asserted end to end through the
+# fabric front.
+svc-smoke:
+	$(GO) run ./cmd/lsmiod -sim -tenants 4 -shards 4 -noisy -fair -assert-fair 2
 
 # The combined-fault restore chaos sweep (dead OST + corrupt step +
 # crash mid-restore, every crash point enumerated) run on its own so a
@@ -37,13 +45,14 @@ bench-smoke:
 	$(GO) run ./cmd/lsmio-bench -fig ext-degraded -scale quick -json . -q
 	$(GO) run ./cmd/lsmio-bench -fig ext-compaction -scale quick -json . -q
 	$(GO) run ./cmd/lsmio-bench -fig ext-restore -scale quick -json . -q
+	$(GO) run ./cmd/lsmio-bench -fig ext-service -scale quick -json . -q
 
 # Observability smoke: every extension figure's JSON must embed the
 # unified obs registry snapshot ("metrics") with per-op latency
 # quantiles down to p999 — the guarantee that every layer is still
 # plumbed through internal/obs.
 obs-smoke: bench-smoke
-	@for f in BENCH_ext-nvme.json BENCH_ext-burst.json BENCH_ext-degraded.json BENCH_ext-compaction.json BENCH_ext-restore.json; do \
+	@for f in BENCH_ext-nvme.json BENCH_ext-burst.json BENCH_ext-degraded.json BENCH_ext-compaction.json BENCH_ext-restore.json BENCH_ext-service.json; do \
 		grep -q '"metrics"' $$f || { echo "obs-smoke: $$f missing metrics snapshot" >&2; exit 1; }; \
 		grep -q '"p999"' $$f || { echo "obs-smoke: $$f missing latency quantiles" >&2; exit 1; }; \
 	done; echo "obs-smoke: all extension figures embed registry snapshots"

@@ -30,7 +30,9 @@ commands:
   del <key>           delete a key
   scan [prefix]       list keys (and printable values) in order
   rscan [prefix]      list keys in reverse order
-  stats               Manager counters and engine statistics
+  stats               Manager counters and engine statistics; on a service
+                      directory (SERVICE.json), the aggregate across all shards
+  tenants             shard layout and tenant quota table of a service directory
   compact             flush and fully compact the store
   verify              check every table's checksums and key ordering
   property <name>     print an engine property (lsmio.last-sequence, ...)
@@ -92,6 +94,13 @@ func main() {
 	// cumulative `lsm.*` statistics in one hierarchical snapshot.
 	if flag.Arg(0) == "stats" {
 		statsCmd(fs, flag.Args()[1:])
+		return
+	}
+	// Tenants reads the multi-tenant service manifest (SERVICE.json) in a
+	// directory hosted by lsmiod: shard layout plus the tenant quota
+	// table.
+	if flag.Arg(0) == "tenants" {
+		tenantsCmd(fs, flag.Args()[1:])
 		return
 	}
 	// Scrub works at the checkpoint layer: every committed step is

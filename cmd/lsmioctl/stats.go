@@ -2,12 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"lsmio"
+	"lsmio/internal/svc"
+	"lsmio/internal/vfs"
 )
 
 // statsCmd implements `lsmioctl stats [-json] [-interval d [-count n]]`.
@@ -17,7 +20,7 @@ import (
 // the manager open and prints the delta between consecutive snapshots
 // every period, which is how an operator watches a live store that
 // another process is not holding locked.
-func statsCmd(fs lsmio.FS, args []string) {
+func statsCmd(fsys lsmio.FS, args []string) {
 	fset := flag.NewFlagSet("stats", flag.ExitOnError)
 	asJSON := fset.Bool("json", false, "emit the snapshot as JSON")
 	interval := fset.Duration("interval", 0, "watch mode: print deltas every interval")
@@ -29,8 +32,19 @@ func statsCmd(fs lsmio.FS, args []string) {
 	}
 	fset.Parse(args)
 
+	// A directory holding a SERVICE.json is a multi-tenant service
+	// layout (written by lsmiod): aggregate across its shard stores
+	// instead of opening a single one.
+	if m, err := svc.ReadManifest(fsys); err == nil {
+		serviceStats(fsys, m, *asJSON)
+		return
+	} else if !errors.Is(err, vfs.ErrNotExist) {
+		fmt.Fprintln(os.Stderr, "lsmioctl:", err)
+		os.Exit(1)
+	}
+
 	mgr, err := lsmio.NewManager("store", lsmio.ManagerOptions{
-		Store: lsmio.StoreOptions{FS: fs},
+		Store: lsmio.StoreOptions{FS: fsys},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lsmioctl:", err)
@@ -71,5 +85,51 @@ func statsCmd(fs lsmio.FS, args []string) {
 		prev = cur
 		fmt.Printf("--- delta @ %v ---\n", cur.At)
 		emit(delta)
+	}
+}
+
+// serviceStats opens every shard store named by the manifest, merges
+// their snapshots (counters add, histograms merge bucket-wise) with the
+// service-level registry persisted in each, and prints one aggregate
+// view: what an operator reads to see the whole service's counters and
+// per-tenant admission stats in one place.
+func serviceStats(fsys lsmio.FS, m svc.Manifest, asJSON bool) {
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "lsmioctl:", err)
+		os.Exit(1)
+	}
+	var agg lsmio.MetricsSnapshot
+	for i := 0; i < m.Shards; i++ {
+		mgr, err := lsmio.NewManager(svc.ShardDirName(i), lsmio.ManagerOptions{
+			Store: lsmio.StoreOptions{FS: fsys},
+		})
+		if err != nil {
+			die(fmt.Errorf("shard %d: %w", i, err))
+		}
+		snap := mgr.Obs().Snapshot()
+		if err := mgr.Close(); err != nil {
+			die(fmt.Errorf("shard %d: %w", i, err))
+		}
+		if i == 0 {
+			agg = snap
+		} else {
+			agg = agg.Merge(snap)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]interface{}{
+			"service": m,
+			"metrics": agg.Tree(),
+		}); err != nil {
+			die(err)
+		}
+		return
+	}
+	fmt.Printf("service: %d shard(s), epoch %d, %d tenant(s); aggregate across shards:\n",
+		m.Shards, m.Epoch, len(m.Tenants))
+	if err := agg.WriteTable(os.Stdout); err != nil {
+		die(err)
 	}
 }

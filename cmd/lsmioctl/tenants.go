@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lsmio"
+	"lsmio/internal/svc"
+)
+
+// tenantsCmd implements `lsmioctl tenants [-json]` for a service
+// directory (one holding a SERVICE.json written by lsmiod): the tenant
+// quota table and shard layout, without opening the shard stores.
+func tenantsCmd(fs lsmio.FS, args []string) {
+	fset := flag.NewFlagSet("tenants", flag.ExitOnError)
+	asJSON := fset.Bool("json", false, "emit the manifest as JSON")
+	fset.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lsmioctl -dir <service> tenants [-json]")
+		fset.PrintDefaults()
+		os.Exit(2)
+	}
+	fset.Parse(args)
+
+	m, err := svc.ReadManifest(fs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsmioctl: not a service directory:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m); err != nil {
+			fmt.Fprintln(os.Stderr, "lsmioctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("service: %d shard(s), epoch %d, %d tenant(s)\n", m.Shards, m.Epoch, len(m.Tenants))
+	fmt.Printf("%-24s %8s %14s %12s\n", "TENANT", "WEIGHT", "BYTES/S", "OPS/S")
+	for _, t := range m.Tenants {
+		fmt.Printf("%-24s %8.2f %14s %12s\n", t.Name, t.Weight, rateOrDash(t.BytesPerSec), rateOrDash(t.OpsPerSec))
+	}
+}
+
+func rateOrDash(r float64) string {
+	if r <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", r)
+}

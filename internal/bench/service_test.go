@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+func TestExtServiceFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tenant service sweep skipped in -short mode")
+	}
+	fig, ok := FigureByID("ext-service")
+	if !ok {
+		t.Fatal("ext-service missing from catalogue")
+	}
+	scale := Scale{Nodes: []int{1, 4}, PerRankBytes: 2 << 20, BufferSize: 512 << 10}
+	fr, err := RunFigure(fig, scale, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One solo point plus four series per tenant count.
+	if want := 1 + 4*len(scale.Nodes); len(fr.Points) != want {
+		t.Fatalf("points=%d, want %d", len(fr.Points), want)
+	}
+	agg1, err := fr.BW("fair-aggregate", kb64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg4, err := fr.BW("fair-aggregate", kb64, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full ≥3× acceptance bar belongs to the 8-tenant run; at this
+	// reduced scale aggregate throughput must still clearly scale.
+	if agg4 < 2*agg1 {
+		t.Fatalf("aggregate did not scale: %.1f MB/s at 4 tenants vs %.1f at 1", agg4/1e6, agg1/1e6)
+	}
+	// The throttled flood must produce typed retryable rejections.
+	snap, ok := fr.Metrics["fair"]
+	if !ok {
+		t.Fatal("no fair-run metrics recorded")
+	}
+	if snap.Counters["svc.tenant.noisy.quota_rejects"] == 0 {
+		t.Fatal("noisy tenant never hit its quota")
+	}
+	if snap.Counters["svc.tenant.noisy.bytes_in"] == 0 || snap.Counters["svc.tenant.tenant00.ops"] == 0 {
+		t.Fatal("per-tenant counters missing from snapshot")
+	}
+	for _, o := range fr.Evaluate() {
+		if o.Err != nil {
+			t.Fatalf("check %q errored: %v", o.Desc, o.Err)
+		}
+	}
+}

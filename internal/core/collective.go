@@ -1,11 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"lsmio/internal/lsm"
 	"lsmio/internal/netsim"
+	"lsmio/internal/resil"
 	"lsmio/internal/sim"
 )
 
@@ -41,10 +43,43 @@ type kvPair struct {
 	value []byte
 }
 
+// kvReply is the wire reply. Error values cannot travel over a real
+// interconnect, so the reply carries the resil error-class taxonomy
+// instead: notFound flags the common miss sentinel (reconstructed as
+// ErrNotFound client-side) and errClass/errMsg carry everything else,
+// reconstructed as a resil.ClassError so resil.Classify on the member
+// rank returns the same class the leader computed.
 type kvReply struct {
-	value []byte
-	pairs []kvPair
-	err   error
+	value    []byte
+	pairs    []kvPair
+	notFound bool
+	errClass resil.Class
+	errMsg   string
+}
+
+// encodeErr maps an error onto kvReply's wire fields.
+func (rep *kvReply) encodeErr(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, ErrNotFound) {
+		rep.notFound = true
+		return
+	}
+	rep.errClass = resil.Classify(err)
+	rep.errMsg = err.Error()
+}
+
+// decodeErr reconstructs the typed error a kvReply carries, nil when
+// the operation succeeded.
+func (rep *kvReply) decodeErr() error {
+	if rep.notFound {
+		return ErrNotFound
+	}
+	if rep.errMsg == "" && rep.errClass == resil.ClassOK {
+		return nil
+	}
+	return &resil.ClassError{C: rep.errClass, Msg: rep.errMsg}
 }
 
 // KVService hosts a group's shared store on the leader node.
@@ -56,6 +91,7 @@ type KVService struct {
 	queue   *sim.Queue
 	stopped bool
 	served  int64
+	conns   int
 }
 
 // NewKVService starts the leader-side service process over store. The
@@ -88,23 +124,25 @@ func (s *KVService) serve(p *sim.Proc) {
 		p.Sleep(opCost)
 		s.served++
 		var rep kvReply
+		var err error
 		switch req.op {
 		case opPut:
-			rep.err = s.store.Put(req.key, req.value, false)
+			err = s.store.Put(req.key, req.value, false)
 		case opAppend:
-			rep.err = s.store.Append(req.key, req.value, false)
+			err = s.store.Append(req.key, req.value, false)
 		case opDel:
-			rep.err = s.store.Del(req.key)
+			err = s.store.Del(req.key)
 		case opGet:
-			rep.value, rep.err = s.store.Get(req.key)
+			rep.value, err = s.store.Get(req.key)
 		case opScan:
-			rep.err = s.store.Scan(req.key, func(k string, v []byte) bool {
+			err = s.store.Scan(req.key, func(k string, v []byte) bool {
 				rep.pairs = append(rep.pairs, kvPair{key: k, value: v})
 				return true
 			})
 		case opBarrier:
-			rep.err = s.store.WriteBarrier(true)
+			err = s.store.WriteBarrier(true)
 		}
+		rep.encodeErr(err)
 		if req.reply != nil {
 			req.reply.Send(rep)
 		}
@@ -132,16 +170,22 @@ func (s *KVService) Stop() {
 // RemoteStore is the member-rank side of collective I/O: a Store that
 // forwards every operation to a KVService over the fabric.
 type RemoteStore struct {
-	svc  *KVService
-	node int // this member's fabric endpoint
+	svc    *KVService
+	node   int // this member's fabric endpoint
+	closed bool
 }
 
 var _ Store = (*RemoteStore)(nil)
 
-// Connect returns a Store forwarding to svc from memberNode.
+// Connect returns a Store forwarding to svc from memberNode. The
+// connection counts against the service until Close releases it.
 func (s *KVService) Connect(memberNode int) *RemoteStore {
+	s.conns++
 	return &RemoteStore{svc: s, node: memberNode}
 }
+
+// Conns reports how many member connections are currently open.
+func (s *KVService) Conns() int { return s.conns }
 
 func (r *RemoteStore) proc() *sim.Proc {
 	p := r.svc.k.Current()
@@ -153,6 +197,9 @@ func (r *RemoteStore) proc() *sim.Proc {
 
 // send ships a request; when sync, it waits for and returns the reply.
 func (r *RemoteStore) send(req kvRequest, payload int64, sync bool) (kvReply, error) {
+	if r.closed {
+		return kvReply{}, ErrClosed
+	}
 	p := r.proc()
 	if sync {
 		req.reply = sim.NewQueue(r.svc.k, "kv-reply")
@@ -169,14 +216,24 @@ func (r *RemoteStore) send(req kvRequest, payload int64, sync bool) (kvReply, er
 		size += int64(len(pr.key) + len(pr.value) + 16)
 	}
 	r.svc.fabric.Transfer(p, r.svc.node, r.node, size)
-	return rep, rep.err
+	return rep, rep.decodeErr()
 }
 
 // StartBatch implements Store (batching happens at the leader).
-func (r *RemoteStore) StartBatch() error { return nil }
+func (r *RemoteStore) StartBatch() error {
+	if r.closed {
+		return ErrClosed
+	}
+	return nil
+}
 
 // StopBatch implements Store.
-func (r *RemoteStore) StopBatch() error { return nil }
+func (r *RemoteStore) StopBatch() error {
+	if r.closed {
+		return ErrClosed
+	}
+	return nil
+}
 
 // Get implements Store: synchronous round trip to the leader.
 func (r *RemoteStore) Get(key string) ([]byte, error) {
@@ -229,8 +286,24 @@ func (r *RemoteStore) WriteBarrier(bool) error {
 	return err
 }
 
-// Close implements Store; the leader owns the underlying store.
-func (r *RemoteStore) Close() error { return nil }
+// Close implements Store: it releases the member's connection to the
+// leader (the leader owns the underlying store and keeps running).
+// Every subsequent operation on the closed connection — including a
+// second Close — returns ErrClosed instead of silently succeeding.
+func (r *RemoteStore) Close() error {
+	if r.closed {
+		return ErrClosed
+	}
+	r.closed = true
+	r.svc.conns--
+	return nil
+}
 
 // EngineStats implements Store, reporting the leader's engine counters.
-func (r *RemoteStore) EngineStats() lsm.Stats { return r.svc.store.EngineStats() }
+// A closed connection reports zeros.
+func (r *RemoteStore) EngineStats() lsm.Stats {
+	if r.closed {
+		return lsm.Stats{}
+	}
+	return r.svc.store.EngineStats()
+}

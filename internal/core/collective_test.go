@@ -2,12 +2,14 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
 	"lsmio/internal/lsm"
 	"lsmio/internal/netsim"
 	"lsmio/internal/pfs"
+	"lsmio/internal/resil"
 	"lsmio/internal/sim"
 	"lsmio/internal/vfs"
 )
@@ -145,5 +147,146 @@ func TestCollectiveBarrierOrdering(t *testing.T) {
 	}
 	if served < put {
 		t.Fatalf("barrier returned with %d/%d ops applied", served, put)
+	}
+}
+
+// faultyStore wraps a Store and fails selected operations with a given
+// error, for wire-taxonomy tests.
+type faultyStore struct {
+	Store
+	putErr error
+}
+
+func (f *faultyStore) Put(key string, value []byte, sync bool) error {
+	if f.putErr != nil {
+		return f.putErr
+	}
+	return f.Store.Put(key, value, sync)
+}
+
+type transientErr struct{ msg string }
+
+func (e transientErr) Error() string        { return e.msg }
+func (e transientErr) TransientFault() bool { return true }
+
+// TestCollectiveErrorClassRoundTrip is the wire-taxonomy regression: a
+// classified error raised at the leader (here a transient quota/stall
+// style fault) must come back over the fabric still carrying its resil
+// class, not collapsed into a generic failure — and the ErrNotFound
+// sentinel must survive the trip too.
+func TestCollectiveErrorClassRoundTrip(t *testing.T) {
+	k := sim.NewKernel()
+	fabric := netsim.New(k, netsim.DefaultConfig(2))
+	k.Spawn("main", func(p *sim.Proc) {
+		store, err := OpenStore("db", StoreOptions{
+			FS:       vfs.NewMemFS(),
+			Platform: lsm.SimPlatform(k),
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer store.Close()
+		faulty := &faultyStore{Store: store, putErr: transientErr{msg: "store stalled: admission quota exhausted"}}
+		svc := NewKVService(k, fabric, 0, faulty)
+		defer svc.Stop()
+		member := svc.Connect(1)
+
+		err = member.Put("k", []byte("v"), true)
+		if err == nil {
+			t.Error("expected the leader's put error to round-trip")
+			return
+		}
+		if got := resil.Classify(err); got != resil.ClassTransient {
+			t.Errorf("round-tripped error classified %v, want transient (err: %v)", got, err)
+		}
+		var ce *resil.ClassError
+		if !errors.As(err, &ce) || ce.Msg == "" {
+			t.Errorf("expected a resil.ClassError with the leader's message, got %T %v", err, err)
+		}
+
+		// The miss sentinel also survives the wire.
+		if _, err := member.Get("absent"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("remote miss returned %v, want ErrNotFound", err)
+		}
+
+		// A fatal-class error stays fatal.
+		faulty.putErr = errors.New("corrupt block")
+		if err := member.Put("k2", nil, true); resil.Classify(err) != resil.ClassFatal {
+			t.Errorf("fatal error came back as %v", resil.Classify(err))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteStoreClose verifies the connection lifecycle: Close releases
+// the member's connection and every later call — including a second
+// Close — reports ErrClosed instead of silently succeeding.
+func TestRemoteStoreClose(t *testing.T) {
+	k := sim.NewKernel()
+	fabric := netsim.New(k, netsim.DefaultConfig(2))
+	k.Spawn("main", func(p *sim.Proc) {
+		store, err := OpenStore("db", StoreOptions{
+			FS:       vfs.NewMemFS(),
+			Platform: lsm.SimPlatform(k),
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer store.Close()
+		svc := NewKVService(k, fabric, 0, store)
+		defer svc.Stop()
+
+		member := svc.Connect(1)
+		if got := svc.Conns(); got != 1 {
+			t.Errorf("Conns() = %d after Connect, want 1", got)
+		}
+		if err := member.StartBatch(); err != nil {
+			t.Errorf("StartBatch on live connection: %v", err)
+		}
+		if err := member.Put("k", []byte("v"), false); err != nil {
+			t.Errorf("Put on live connection: %v", err)
+		}
+		if err := member.Close(); err != nil {
+			t.Errorf("first Close: %v", err)
+		}
+		if got := svc.Conns(); got != 0 {
+			t.Errorf("Conns() = %d after Close, want 0", got)
+		}
+		if err := member.Close(); !errors.Is(err, ErrClosed) {
+			t.Errorf("second Close = %v, want ErrClosed", err)
+		}
+		if err := member.Put("k", []byte("v"), false); !errors.Is(err, ErrClosed) {
+			t.Errorf("Put after Close = %v, want ErrClosed", err)
+		}
+		if _, err := member.Get("k"); !errors.Is(err, ErrClosed) {
+			t.Errorf("Get after Close = %v, want ErrClosed", err)
+		}
+		if err := member.StartBatch(); !errors.Is(err, ErrClosed) {
+			t.Errorf("StartBatch after Close = %v, want ErrClosed", err)
+		}
+		if err := member.StopBatch(); !errors.Is(err, ErrClosed) {
+			t.Errorf("StopBatch after Close = %v, want ErrClosed", err)
+		}
+		if err := member.WriteBarrier(true); !errors.Is(err, ErrClosed) {
+			t.Errorf("WriteBarrier after Close = %v, want ErrClosed", err)
+		}
+		if s := member.EngineStats(); s != (lsm.Stats{}) {
+			t.Errorf("EngineStats after Close = %+v, want zero", s)
+		}
+		// A fresh connection still works: the service survived.
+		again := svc.Connect(1)
+		if _, err := again.Get("k"); err != nil {
+			t.Errorf("Get on fresh connection: %v", err)
+		}
+		if err := again.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -310,9 +310,15 @@ func (m *Manager) EngineStats() lsm.Stats { return m.store.EngineStats() }
 func (m *Manager) Store() Store { return m.store }
 
 // Close flushes and releases the manager's store. Remote (collective)
-// managers do not own the leader's store and only sever the connection.
+// managers do not own the leader's store: a member's connection is
+// released (subsequent use returns ErrClosed), while a leader-side
+// manager handed the shared local store directly leaves it open for
+// the service.
 func (m *Manager) Close() error {
 	if m.remote {
+		if rs, ok := m.store.(*RemoteStore); ok {
+			return rs.Close()
+		}
 		return nil
 	}
 	return m.store.Close()

@@ -42,6 +42,10 @@ const (
 // ErrNotFound reports a missing key.
 var ErrNotFound = errors.New("lsmio: key not found")
 
+// ErrClosed reports an operation on a store whose connection or handle
+// has been released with Close.
+var ErrClosed = errors.New("lsmio: store closed")
+
 // Store is the paper's Table 1 interface: the internal K/V surface over
 // the LSM-tree that the Manager builds on.
 type Store interface {

@@ -108,6 +108,46 @@ func Classify(err error) Class {
 	return ClassFatal
 }
 
+// ClassError is a Class plus a message: the form an error takes after
+// crossing a serialization boundary (the collective-I/O fabric, the
+// multi-tenant service front-end). The original error value cannot
+// travel over a wire, but its classification can — ClassError carries
+// it so Classify on the client side returns the same Class the server
+// side computed. It implements the marker interfaces Classify probes
+// for, and unwraps to the matching context error for ClassCanceled.
+type ClassError struct {
+	C   Class
+	Msg string
+}
+
+// NewClassError re-types err for transport: the returned error carries
+// err's message and Classify(err). A nil err returns nil.
+func NewClassError(err error) *ClassError {
+	if err == nil {
+		return nil
+	}
+	return &ClassError{C: Classify(err), Msg: err.Error()}
+}
+
+func (e *ClassError) Error() string { return e.Msg }
+
+// Class returns the carried classification.
+func (e *ClassError) Class() Class { return e.C }
+
+// TransientFault marks the error retryable when it crossed the wire as
+// ClassTransient.
+func (e *ClassError) TransientFault() bool { return e.C == ClassTransient }
+
+// TargetDown marks the error as a refused-by-down-target failure when
+// it crossed the wire as ClassTargetDown.
+func (e *ClassError) TargetDown() bool { return e.C == ClassTargetDown }
+
+// Is lets errors.Is(err, context.Canceled) keep working across the
+// wire for canceled requests.
+func (e *ClassError) Is(target error) bool {
+	return e.C == ClassCanceled && (target == context.Canceled || target == context.DeadlineExceeded)
+}
+
 // Backoff computes the delay before retry number attempt+1: exponential
 // from BaseDelay, capped at MaxDelay, with a deterministic jitter factor
 // in [0.5, 1.5) derived from the attempt and the caller-supplied seed —

@@ -1,0 +1,344 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"lsmio/internal/netsim"
+	"lsmio/internal/obs"
+	"lsmio/internal/resil"
+	"lsmio/internal/sim"
+)
+
+// Front is the simulated-fabric transport for a Service: one server
+// process per shard slot, each draining a FIFO request queue, with
+// clients on compute nodes paying netsim transfer costs for requests
+// and replies. It generalizes the single-store core.KVService loop to
+// the sharded, multi-tenant case; admission control runs client-side
+// (modelling credit-based flow control), so a throttled tenant's
+// requests never occupy fabric or shard-queue capacity.
+type Front struct {
+	s          *Service
+	fabric     *netsim.Fabric
+	shardNodes []int
+	queues     []*sim.Queue
+	qDepth     []*obs.Gauge
+}
+
+type frontOp int
+
+const (
+	fopPut frontOp = iota
+	fopDel
+	fopGet
+	fopScan
+	fopBarrier
+	fopStop
+)
+
+type frontReq struct {
+	op    frontOp
+	shard int
+	key   string // namespaced key (or scan prefix)
+	value []byte
+	write bool // registered via enterWrites; server must exitWrite
+	reply *sim.Queue
+}
+
+type frontRep struct {
+	value    []byte
+	pairs    []Pair
+	notFound bool
+	errClass resil.Class
+	errMsg   string
+}
+
+func (rep *frontRep) encodeErr(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, ErrNotFound) {
+		rep.notFound = true
+		return
+	}
+	rep.errClass = resil.Classify(err)
+	rep.errMsg = err.Error()
+}
+
+func (rep *frontRep) decodeErr() error {
+	if rep.notFound {
+		return ErrNotFound
+	}
+	if rep.errMsg == "" && rep.errClass == resil.ClassOK {
+		return nil
+	}
+	return &resil.ClassError{C: rep.errClass, Msg: rep.errMsg}
+}
+
+// frontOpCost models the per-request CPU the shard server spends on
+// decode/dispatch, matching the collective-I/O leader's cost.
+const frontOpCost = 3 * time.Microsecond
+
+// NewFront starts shard server processes over fabric. shardNodes maps
+// shard index to fabric endpoint and must be sized for the largest
+// shard count the service will ever rebalance to. Requires a service
+// running inside the simulator.
+func NewFront(s *Service, fabric *netsim.Fabric, shardNodes []int) *Front {
+	if s.kern == nil {
+		panic("svc: NewFront requires a simulator-mode service")
+	}
+	if len(shardNodes) < s.Shards() {
+		panic("svc: shardNodes must cover every shard")
+	}
+	f := &Front{s: s, fabric: fabric, shardNodes: shardNodes}
+	for i := range shardNodes {
+		i := i
+		f.queues = append(f.queues, sim.NewQueue(s.kern, fmt.Sprintf("svc-shard%d", i)))
+		f.qDepth = append(f.qDepth, s.reg.Gauge(fmt.Sprintf("svc.shard.%03d.queue_max", i)))
+		s.kern.Spawn(fmt.Sprintf("svc-shard-%d", i), func(p *sim.Proc) {
+			f.serve(p, i)
+		}).SetDaemon(true)
+	}
+	return f
+}
+
+// serve is one shard's server loop: FIFO application of requests onto
+// the shard's Manager, with write-fence bookkeeping (a write counts as
+// in flight from client admission until it is applied here).
+func (f *Front) serve(p *sim.Proc, idx int) {
+	s := f.s
+	for {
+		req := f.queues[idx].Recv(p).(frontReq)
+		if req.op == fopStop {
+			if req.reply != nil {
+				req.reply.Send(frontRep{})
+			}
+			return
+		}
+		f.qDepth[idx].SetMax(int64(f.queues[idx].Len() + 1))
+		p.Sleep(frontOpCost)
+		var rep frontRep
+		var err error
+		sh := s.shardAt(req.shard)
+		if sh == nil {
+			err = fmt.Errorf("svc: shard %d not in pool", req.shard)
+		} else {
+			switch req.op {
+			case fopPut:
+				err = s.applyPut(sh, req.key, req.value)
+			case fopDel:
+				err = s.applyDel(sh, req.key)
+			case fopGet:
+				rep.value, err = s.applyGet(sh, req.key)
+			case fopScan:
+				ring, _ := s.snapshotRing()
+				rep.pairs, err = s.scanShard(ring, sh, req.key)
+			case fopBarrier:
+				err = s.applyBarrier(sh)
+			}
+		}
+		if req.write {
+			s.exitWrite()
+		}
+		if err != nil && req.reply == nil {
+			// Asynchronous writes have no reply to carry the error;
+			// count it so the loss is visible in snapshots.
+			s.cApplyErrs.Inc()
+		}
+		rep.encodeErr(err)
+		if req.reply != nil {
+			req.reply.Send(rep)
+		}
+	}
+}
+
+// Stop shuts every shard server down (mainly for tests; the servers
+// are daemons and do not hold the simulation open).
+func (f *Front) Stop(p *sim.Proc) {
+	for _, q := range f.queues {
+		reply := sim.NewQueue(f.s.kern, "svc-stop")
+		q.Send(frontReq{op: fopStop, reply: reply})
+		reply.Recv(p)
+	}
+}
+
+// Connect opens a tenant client at the given fabric endpoint,
+// registering the tenant on first use.
+func (f *Front) Connect(tenant string, node int) *Client {
+	f.s.gConns.Add(1)
+	return &Client{f: f, ts: f.s.adm.tenant(tenant, nil), node: node}
+}
+
+// Client is the fabric-transport tenant client. It mirrors Tenant's
+// semantics with every operation paying fabric transfer and shard
+// queueing costs. A Client is bound to one simulation process at a
+// time (like core.RemoteStore).
+type Client struct {
+	f      *Front
+	ts     *tenantState
+	node   int
+	closed bool
+}
+
+// Tenant returns the tenant name the client is bound to.
+func (c *Client) Tenant() string { return c.ts.name }
+
+func (c *Client) proc() *sim.Proc {
+	p := c.f.s.kern.Current()
+	if p == nil {
+		panic("svc: fabric Client used outside a simulation process")
+	}
+	return p
+}
+
+// admit runs client-side admission, sleeping out any fair-share delay.
+func (c *Client) admit(nBytes, nOps int) error {
+	s := c.f.s
+	if c.closed || s.isClosed() {
+		return ErrClosed
+	}
+	wait, err := s.adm.admit(c.ts, nBytes, nOps)
+	if err != nil {
+		return err
+	}
+	if wait > 0 {
+		c.proc().Sleep(wait)
+	}
+	return nil
+}
+
+// send ships one request to a shard server, paying the request
+// transfer; when sync it waits for the reply and pays the return
+// transfer.
+func (c *Client) send(req frontReq, payload int64, sync bool) (frontRep, error) {
+	p := c.proc()
+	if sync {
+		req.reply = sim.NewQueue(c.f.s.kern, "svc-reply")
+	}
+	c.f.fabric.Transfer(p, c.node, c.f.shardNodes[req.shard], payload+64)
+	c.f.queues[req.shard].Send(req)
+	if !sync {
+		return frontRep{}, nil
+	}
+	rep := req.reply.Recv(p).(frontRep)
+	size := int64(len(rep.value)) + 32
+	for _, pr := range rep.pairs {
+		size += int64(len(pr.Key) + len(pr.Value) + 16)
+	}
+	c.f.fabric.Transfer(p, c.f.shardNodes[req.shard], c.node, size)
+	return rep, rep.decodeErr()
+}
+
+// Put stores key (asynchronous; durable at the next Barrier). The
+// value is copied before transmission.
+func (c *Client) Put(key string, value []byte) error {
+	s := c.f.s
+	start := s.reg.Now()
+	if err := c.admit(len(value), 1); err != nil {
+		return err
+	}
+	s.enterWrites(1)
+	nsk := nsKey(c.ts.name, key)
+	idx := s.routeIdx(nsk)
+	_, err := c.send(frontReq{
+		op: fopPut, shard: idx, key: nsk,
+		value: append([]byte(nil), value...), write: true,
+	}, int64(len(nsk)+len(value)), false)
+	c.ts.reqLat.ObserveDuration(s.reg.Now() - start)
+	return err
+}
+
+// Del removes key, shadowing the delete onto the rebalance-target
+// shard when a migration is in flight.
+func (c *Client) Del(key string) error {
+	s := c.f.s
+	start := s.reg.Now()
+	if err := c.admit(0, 1); err != nil {
+		return err
+	}
+	// Register two slots up front: the routes must be read after
+	// registration (so a ring flip cannot slip between routing and
+	// shipping), and re-registering the second slot later could
+	// deadlock against a rebalance cutover.
+	s.enterWrites(2)
+	nsk := nsKey(c.ts.name, key)
+	idx := s.routeIdx(nsk)
+	shadow := s.shadowIdx(nsk)
+	_, err := c.send(frontReq{op: fopDel, shard: idx, key: nsk, write: true}, int64(len(nsk)), false)
+	if err == nil && shadow >= 0 {
+		_, err = c.send(frontReq{op: fopDel, shard: shadow, key: nsk, write: true}, int64(len(nsk)), false)
+	} else {
+		s.exitWrite() // the shadow slot went unused
+	}
+	c.ts.reqLat.ObserveDuration(s.reg.Now() - start)
+	return err
+}
+
+// Get fetches the tenant's value for key: a synchronous round trip to
+// the owning shard.
+func (c *Client) Get(key string) ([]byte, error) {
+	s := c.f.s
+	start := s.reg.Now()
+	if err := c.admit(0, 1); err != nil {
+		return nil, err
+	}
+	nsk := nsKey(c.ts.name, key)
+	rep, err := c.send(frontReq{op: fopGet, shard: s.routeIdx(nsk), key: nsk}, int64(len(nsk)), true)
+	c.ts.reqLat.ObserveDuration(s.reg.Now() - start)
+	return rep.value, err
+}
+
+// Scan streams the tenant's keys under prefix in key order (namespace
+// stripped), merging per-shard sweeps client-side.
+func (c *Client) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	s := c.f.s
+	if err := c.admit(0, 1); err != nil {
+		return err
+	}
+	ns := nsKey(c.ts.name, prefix)
+	strip := len(nsKey(c.ts.name, ""))
+	var all []Pair
+	for idx := 0; idx < s.Shards(); idx++ {
+		rep, err := c.send(frontReq{op: fopScan, shard: idx, key: ns}, int64(len(ns)), true)
+		if err != nil {
+			return err
+		}
+		all = append(all, rep.pairs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	for _, pr := range all {
+		if !fn(pr.Key[strip:], pr.Value) {
+			break
+		}
+	}
+	return nil
+}
+
+// Barrier flushes every shard: the tenant's commit point.
+func (c *Client) Barrier() error {
+	s := c.f.s
+	start := s.reg.Now()
+	if c.closed || s.isClosed() {
+		return ErrClosed
+	}
+	for idx := 0; idx < s.Shards(); idx++ {
+		if _, err := c.send(frontReq{op: fopBarrier, shard: idx}, 0, true); err != nil {
+			return err
+		}
+	}
+	c.ts.reqLat.ObserveDuration(s.reg.Now() - start)
+	return nil
+}
+
+// Close releases the client's connection; later calls return
+// ErrClosed.
+func (c *Client) Close() error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.closed = true
+	c.f.s.gConns.Add(-1)
+	return nil
+}

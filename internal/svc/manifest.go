@@ -1,0 +1,103 @@
+package svc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"lsmio/internal/vfs"
+)
+
+// ManifestName is the service-layout manifest kept at the root of a
+// service directory. Offline tools (lsmioctl stats/tenants) read it to
+// find the shard stores and the tenant quota table without talking to
+// a live service.
+const ManifestName = "SERVICE.json"
+
+// ShardDirName returns the canonical directory name for shard i inside
+// a service directory.
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// Manifest describes a service's on-disk layout and tenant table.
+type Manifest struct {
+	Version int              `json:"version"`
+	Shards  int              `json:"shards"`
+	Epoch   int              `json:"epoch"`
+	Tenants []ManifestTenant `json:"tenants,omitempty"`
+}
+
+// ManifestTenant is one tenant's registered admission settings.
+type ManifestTenant struct {
+	Name        string  `json:"name"`
+	Weight      float64 `json:"weight"`
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+}
+
+// Manifest returns the service's current layout description.
+func (s *Service) Manifest() Manifest {
+	s.mu.RLock()
+	m := Manifest{Version: 1, Shards: len(s.shards), Epoch: s.epoch}
+	s.mu.RUnlock()
+	s.adm.mu.Lock()
+	for name, ts := range s.adm.tenants {
+		m.Tenants = append(m.Tenants, ManifestTenant{
+			Name:        name,
+			Weight:      ts.weight(),
+			BytesPerSec: ts.cfg.BytesPerSec,
+			OpsPerSec:   ts.cfg.OpsPerSec,
+		})
+	}
+	s.adm.mu.Unlock()
+	sort.Slice(m.Tenants, func(i, j int) bool { return m.Tenants[i].Name < m.Tenants[j].Name })
+	return m
+}
+
+// writeManifest persists the layout when a manifest filesystem is
+// configured; a crash between the write and the rename leaves the old
+// manifest intact.
+func (s *Service) writeManifest() error {
+	if s.mfs == nil {
+		return nil
+	}
+	return WriteManifest(s.mfs, s.Manifest())
+}
+
+// WriteManifest atomically writes m as fs's SERVICE.json.
+func WriteManifest(fs vfs.FS, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := ManifestName + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, ManifestName)
+}
+
+// ReadManifest loads fs's SERVICE.json.
+func ReadManifest(fs vfs.FS) (Manifest, error) {
+	f, err := fs.Open(ManifestName)
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer f.Close()
+	data, err := vfs.ReadAll(f)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("svc: parse %s: %w", ManifestName, err)
+	}
+	return m, nil
+}

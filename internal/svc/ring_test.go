@@ -1,0 +1,74 @@
+package svc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingConsistency is the consistent-hash invariant: growing the
+// ring from n to n+1 shards may move a key only onto the new shard,
+// and shrinking from n+1 to n may move only keys that lived on the
+// removed shard. Any other movement would force needless migration.
+func TestRingConsistency(t *testing.T) {
+	keys := make([]string, 5000)
+	for i := range keys {
+		keys[i] = nsKey(fmt.Sprintf("tenant%d", i%7), fmt.Sprintf("step%03d/block%05d", i%13, i))
+	}
+	for n := 1; n <= 8; n++ {
+		small, big := NewRing(n), NewRing(n+1)
+		movedIn, movedOut := 0, 0
+		for _, k := range keys {
+			a, b := small.Route(k), big.Route(k)
+			if a != b {
+				// Grow: the only legal new destination is shard n.
+				if b != n {
+					t.Fatalf("grow %d->%d moved %q from shard %d to %d (not the new shard)", n, n+1, k, a, b)
+				}
+				movedIn++
+			}
+			// Shrink is the same comparison read backwards: a key whose
+			// route differs must have lived on the removed shard.
+			if a != b && b != n {
+				movedOut++
+			}
+		}
+		if n > 1 && movedIn == 0 {
+			t.Errorf("grow %d->%d moved no keys; new shard would stay empty", n, n+1)
+		}
+		if movedOut != 0 {
+			t.Errorf("shrink %d->%d would move %d keys between surviving shards", n+1, n, movedOut)
+		}
+	}
+}
+
+// TestRingBalance checks that 64 vnodes per shard spread ownership
+// reasonably: no empty shards and no shard far above its fair share.
+func TestRingBalance(t *testing.T) {
+	const shards, n = 8, 20000
+	r := NewRing(shards)
+	counts := make([]int, shards)
+	for i := 0; i < n; i++ {
+		counts[r.Route(nsKey("app", fmt.Sprintf("key%06d", i)))]++
+	}
+	avg := n / shards
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d owns no keys", s)
+		}
+		if c > 3*avg {
+			t.Errorf("shard %d owns %d keys, more than 3x the fair share %d", s, c, avg)
+		}
+	}
+}
+
+// TestRingRouteStable pins routing determinism: the same key always
+// routes to the same shard across independently built rings.
+func TestRingRouteStable(t *testing.T) {
+	a, b := NewRing(5), NewRing(5)
+	for i := 0; i < 1000; i++ {
+		k := nsKey("t", fmt.Sprintf("k%d", i))
+		if a.Route(k) != b.Route(k) {
+			t.Fatalf("key %q routed differently by identical rings", k)
+		}
+	}
+}

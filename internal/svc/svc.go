@@ -1,0 +1,644 @@
+// Package svc is the multi-tenant checkpoint service: a long-running
+// front-end that multiplexes many tenants over a pool of sharded
+// core.Manager stores. It generalizes the single-store collective-I/O
+// request loop (internal/core/collective.go) into a real service:
+//
+//   - Sharding. Keys are namespaced per tenant ("t/<tenant>/<key>") and
+//     routed over a consistent-hash Ring of shards, each shard backed by
+//     its own core.Manager (and therefore its own LSM store). Growing or
+//     shrinking the pool is a Rebalance: a background copy pass while
+//     writes keep flowing, a brief write fence, a delta pass, an atomic
+//     ring flip, then cleanup — no acknowledged write is ever dropped.
+//   - Fair-share admission. A weighted GCRA token bucket per tenant
+//     (bytes and ops), layered above the LSM engine's slowdown/stall
+//     ladder: the engine ladder protects the store, admission divides
+//     the service's front-door capacity between tenants so one noisy
+//     tenant cannot inflate everyone else's tail latency. Requests that
+//     would wait longer than MaxWait fail fast with a retryable
+//     QuotaError.
+//   - Transports. The same Service core serves two fronts: an
+//     in-process client (Service.Tenant, goroutine mode, used by lsmiod
+//     against a real filesystem) and a simulated-fabric front (Front /
+//     Client, one server process per shard over netsim, used by the
+//     ext-service experiment).
+//
+// Every layer records into internal/obs under the `svc.` prefix:
+// per-tenant op/byte counters, admission-wait and request-latency
+// histograms, per-shard op counters, and shard/epoch gauges.
+//
+// DESIGN.md §12 documents the sharding and rebalance protocol and how
+// admission interacts with the engine's stall ladder.
+package svc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lsmio/internal/core"
+	"lsmio/internal/obs"
+	"lsmio/internal/sim"
+	"lsmio/internal/vfs"
+)
+
+// ErrClosed reports an operation on a closed service or client; it is
+// the same sentinel the core store layer uses, so errors.Is works
+// across layers.
+var ErrClosed = core.ErrClosed
+
+// ErrNotFound re-exports the store miss sentinel for svc callers.
+var ErrNotFound = core.ErrNotFound
+
+// ErrRebalancing reports a Rebalance attempted while another one is
+// still running.
+var ErrRebalancing = errors.New("svc: rebalance already in progress")
+
+// nsRoot prefixes every tenant key in the shard stores.
+const nsRoot = "t/"
+
+// nsKey namespaces a tenant key. Slashes in tenant names would alias
+// other tenants' namespaces, so they are folded.
+func nsKey(tenant, key string) string {
+	if strings.ContainsRune(tenant, '/') {
+		tenant = strings.ReplaceAll(tenant, "/", "_")
+	}
+	return nsRoot + tenant + "/" + key
+}
+
+// Options configures a Service.
+type Options struct {
+	// Shards is the initial shard count (default 1).
+	Shards int
+	// OpenShard opens the store behind shard i. Required. For a real
+	// deployment it opens dir/ShardDirName(i); tests and the simulator
+	// back shards with memory or pfs filesystems.
+	OpenShard func(shard int) (*core.Manager, error)
+	// Kernel must be set when the service runs inside the simulator;
+	// nil means goroutine mode (real time, real concurrency).
+	Kernel *sim.Kernel
+	// Obs is the shared metrics registry (`svc.` prefix). Nil creates
+	// one, clocked on the kernel's virtual time when Kernel is set.
+	Obs *obs.Registry
+	// Admission configures fair-share admission control.
+	Admission AdmissionConfig
+	// ManifestFS, when set, keeps a SERVICE.json manifest at the
+	// filesystem root describing the shard layout and tenant quotas, so
+	// offline tools (lsmioctl stats/tenants) can find and aggregate the
+	// shard stores.
+	ManifestFS vfs.FS
+}
+
+// shard is one slot of the pool: a Manager plus its serialization lock
+// (goroutine mode only; in the simulator the per-shard server process
+// and cooperative scheduling serialize access).
+type shard struct {
+	idx int
+	mgr *core.Manager
+	mu  sync.Mutex
+	ops *obs.Counter
+}
+
+// Service is the multi-tenant sharded checkpoint service.
+type Service struct {
+	kern *sim.Kernel
+	reg  *obs.Registry
+	open func(int) (*core.Manager, error)
+	mfs  vfs.FS
+	adm  *admission
+
+	// mu guards the routing state. It is never held across a blocking
+	// store operation, so taking it from a simulation process is safe.
+	mu          sync.RWMutex
+	shards      []*shard
+	ring        *Ring // authoritative routing table
+	next        *Ring // rebalance target, nil outside a rebalance
+	epoch       int
+	closed      bool
+	rebalancing bool
+
+	// Write fencing: pauseMu guards paused and the in-flight write
+	// count; writers wait on pauseCond (goroutine mode) or pauseSig
+	// (simulator), the rebalancer waits for inflight to drain on
+	// pauseCond / fenceSig.
+	pauseMu   sync.Mutex
+	paused    bool
+	inflight  int
+	pauseCond *sync.Cond
+	pauseSig  *sim.Signal
+	fenceSig  *sim.Signal
+
+	gShards     *obs.Gauge
+	gEpoch      *obs.Gauge
+	gConns      *obs.Gauge
+	cRebalances *obs.Counter
+	cMoved      *obs.Counter
+	cPasses     *obs.Counter
+	cApplyErrs  *obs.Counter
+}
+
+// New opens the shard pool and starts the service. Inside the
+// simulator it must be called from a simulation process (opening the
+// shard stores performs I/O).
+func New(opts Options) (*Service, error) {
+	if opts.OpenShard == nil {
+		return nil, errors.New("svc: Options.OpenShard is required")
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = 1
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+		if k := opts.Kernel; k != nil {
+			reg.SetClock(func() time.Duration { return k.Now().Duration() })
+		}
+	}
+	s := &Service{
+		kern:        opts.Kernel,
+		reg:         reg,
+		open:        opts.OpenShard,
+		mfs:         opts.ManifestFS,
+		adm:         newAdmission(opts.Admission, reg),
+		ring:        NewRing(n),
+		gShards:     reg.Gauge("svc.shards"),
+		gEpoch:      reg.Gauge("svc.epoch"),
+		gConns:      reg.Gauge("svc.conns"),
+		cRebalances: reg.Counter("svc.rebalances"),
+		cMoved:      reg.Counter("svc.rebalance.moved_keys"),
+		cPasses:     reg.Counter("svc.rebalance.passes"),
+		cApplyErrs:  reg.Counter("svc.apply_errors"),
+	}
+	s.pauseCond = sync.NewCond(&s.pauseMu)
+	if s.kern != nil {
+		s.pauseSig = sim.NewSignal(s.kern)
+		s.fenceSig = sim.NewSignal(s.kern)
+	}
+	for i := 0; i < n; i++ {
+		sh, err := s.openShard(i)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.mgr.Close()
+			}
+			return nil, err
+		}
+		s.shards = append(s.shards, sh)
+	}
+	s.gShards.Set(int64(n))
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Service) openShard(i int) (*shard, error) {
+	mgr, err := s.open(i)
+	if err != nil {
+		return nil, fmt.Errorf("svc: open shard %d: %w", i, err)
+	}
+	return &shard{
+		idx: i,
+		mgr: mgr,
+		ops: s.reg.Counter(fmt.Sprintf("svc.shard.%03d.ops", i)),
+	}, nil
+}
+
+// Obs returns the service's metrics registry.
+func (s *Service) Obs() *obs.Registry { return s.reg }
+
+// Kernel returns the simulation kernel, nil in goroutine mode.
+func (s *Service) Kernel() *sim.Kernel { return s.kern }
+
+// Shards reports the current shard count.
+func (s *Service) Shards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.shards)
+}
+
+// Epoch reports how many rebalances have completed.
+func (s *Service) Epoch() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+func (s *Service) isClosed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// RegisterTenant declares a tenant's weight and quotas, recomputing
+// every tenant's fair share. Registering an existing tenant updates
+// its configuration in place.
+func (s *Service) RegisterTenant(name string, cfg TenantConfig) (*Tenant, error) {
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	ts := s.adm.tenant(name, &cfg)
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	return &Tenant{s: s, ts: ts}, nil
+}
+
+// Tenant returns the named tenant's in-process client, registering the
+// tenant with default settings (weight 1, no caps) on first use.
+func (s *Service) Tenant(name string) *Tenant {
+	return &Tenant{s: s, ts: s.adm.tenant(name, nil)}
+}
+
+// TenantNames returns the registered tenants, sorted.
+func (s *Service) TenantNames() []string {
+	s.adm.mu.Lock()
+	defer s.adm.mu.Unlock()
+	names := make([]string, 0, len(s.adm.tenants))
+	for n := range s.adm.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---- write fencing ----------------------------------------------------
+
+// enterWrites blocks while writes are paused by a rebalance cutover,
+// then registers n in-flight write applications. Every registered
+// application must be balanced by exitWrite (at apply completion, which
+// for the fabric front happens on the shard server).
+func (s *Service) enterWrites(n int) {
+	if s.kern != nil {
+		p := s.kern.Current()
+		for {
+			s.pauseMu.Lock()
+			if !s.paused {
+				s.inflight += n
+				s.pauseMu.Unlock()
+				return
+			}
+			s.pauseMu.Unlock()
+			s.pauseSig.Wait(p)
+		}
+	}
+	s.pauseMu.Lock()
+	for s.paused {
+		s.pauseCond.Wait()
+	}
+	s.inflight += n
+	s.pauseMu.Unlock()
+}
+
+// exitWrite retires one in-flight write application, waking a pending
+// fence when the last one drains.
+func (s *Service) exitWrite() {
+	s.pauseMu.Lock()
+	s.inflight--
+	drained := s.paused && s.inflight == 0
+	s.pauseMu.Unlock()
+	if drained {
+		if s.kern != nil {
+			s.fenceSig.Broadcast()
+		} else {
+			s.pauseCond.Broadcast()
+		}
+	}
+}
+
+// setPaused flips the write gate. Resuming wakes every blocked writer.
+func (s *Service) setPaused(on bool) {
+	s.pauseMu.Lock()
+	s.paused = on
+	s.pauseMu.Unlock()
+	if !on {
+		if s.kern != nil {
+			s.pauseSig.Broadcast()
+		} else {
+			s.pauseCond.Broadcast()
+		}
+	}
+}
+
+// fenceWrites waits until every in-flight write application has been
+// applied. Callers set the pause gate first, so the count can only
+// drain.
+func (s *Service) fenceWrites() {
+	if s.kern != nil {
+		p := s.kern.Current()
+		for {
+			s.pauseMu.Lock()
+			n := s.inflight
+			s.pauseMu.Unlock()
+			if n == 0 {
+				return
+			}
+			s.fenceSig.Wait(p)
+		}
+	}
+	s.pauseMu.Lock()
+	for s.inflight > 0 {
+		s.pauseCond.Wait()
+	}
+	s.pauseMu.Unlock()
+}
+
+// sleep charges an admission delay to the caller: virtual time inside
+// the simulator, wall time outside.
+func (s *Service) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s.kern != nil {
+		if p := s.kern.Current(); p != nil {
+			p.Sleep(d)
+			return
+		}
+	}
+	time.Sleep(d)
+}
+
+// ---- routing ----------------------------------------------------------
+
+// routeWrite returns the authoritative shard for a namespaced key and,
+// during a rebalance, the shadow shard under the target ring (for
+// deletes, which must erase any migrated copy too).
+func (s *Service) routeWrite(nsk string) (dst, shadow *shard) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := s.ring.Route(nsk)
+	dst = s.shards[i]
+	if s.next != nil {
+		if j := s.next.Route(nsk); j != i {
+			shadow = s.shards[j]
+		}
+	}
+	return dst, shadow
+}
+
+// routeIdx returns the authoritative shard index for a namespaced key.
+func (s *Service) routeIdx(nsk string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.Route(nsk)
+}
+
+// shadowIdx returns the rebalance-target shard index for a namespaced
+// key when it differs from the authoritative one, else -1.
+func (s *Service) shadowIdx(nsk string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.next == nil {
+		return -1
+	}
+	i, j := s.ring.Route(nsk), s.next.Route(nsk)
+	if i == j {
+		return -1
+	}
+	return j
+}
+
+// shardAt returns shard i, or nil when the index is out of range
+// (possible transiently after a shrink).
+func (s *Service) shardAt(i int) *shard {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i < 0 || i >= len(s.shards) {
+		return nil
+	}
+	return s.shards[i]
+}
+
+// snapshotRing returns the authoritative ring and shard slice.
+func (s *Service) snapshotRing() (*Ring, []*shard) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring, append([]*shard(nil), s.shards...)
+}
+
+// ---- shard application ------------------------------------------------
+
+// lock serializes direct shard access in goroutine mode. Inside the
+// simulator the cooperative scheduler plus the one-server-per-shard
+// front provide the serialization, and holding a sync.Mutex across a
+// virtual-time park could deadlock the kernel, so the lock is skipped.
+func (s *Service) lock(sh *shard) {
+	if s.kern == nil {
+		sh.mu.Lock()
+	}
+}
+
+func (s *Service) unlock(sh *shard) {
+	if s.kern == nil {
+		sh.mu.Unlock()
+	}
+}
+
+func (s *Service) applyPut(sh *shard, nsk string, value []byte) error {
+	s.lock(sh)
+	defer s.unlock(sh)
+	sh.ops.Inc()
+	return sh.mgr.Put(nsk, value)
+}
+
+func (s *Service) applyDel(sh *shard, nsk string) error {
+	s.lock(sh)
+	defer s.unlock(sh)
+	sh.ops.Inc()
+	return sh.mgr.Del(nsk)
+}
+
+func (s *Service) applyGet(sh *shard, nsk string) ([]byte, error) {
+	s.lock(sh)
+	defer s.unlock(sh)
+	sh.ops.Inc()
+	return sh.mgr.Get(nsk)
+}
+
+func (s *Service) applyBarrier(sh *shard) error {
+	s.lock(sh)
+	defer s.unlock(sh)
+	sh.ops.Inc()
+	return sh.mgr.WriteBarrier()
+}
+
+// scanShard sweeps shard i for keys under nsPrefix that the ring
+// actually routes to i, dropping not-yet-cleaned migration leftovers.
+func (s *Service) scanShard(r *Ring, sh *shard, nsPrefix string) ([]Pair, error) {
+	s.lock(sh)
+	defer s.unlock(sh)
+	sh.ops.Inc()
+	var out []Pair
+	err := sh.mgr.ReadBatch(nsPrefix, func(k string, v []byte) bool {
+		if r.Route(k) == sh.idx {
+			out = append(out, Pair{Key: k, Value: append([]byte(nil), v...)})
+		}
+		return true
+	})
+	return out, err
+}
+
+// Pair is one key/value from a Scan.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// ---- in-process client (the thin client library) ----------------------
+
+// Tenant is a tenant-scoped in-process client for the service: the
+// goroutine-mode transport lsmiod uses, and the reference semantics the
+// fabric Client mirrors. All methods are safe for concurrent use.
+type Tenant struct {
+	s  *Service
+	ts *tenantState
+}
+
+// Name returns the tenant name.
+func (t *Tenant) Name() string { return t.ts.name }
+
+// Put stores key for this tenant (asynchronous; durable at the next
+// Barrier). Fair-share admission may delay or reject it.
+func (t *Tenant) Put(key string, value []byte) error {
+	s := t.s
+	if s.isClosed() {
+		return ErrClosed
+	}
+	start := s.reg.Now()
+	wait, err := s.adm.admit(t.ts, len(value), 1)
+	if err != nil {
+		return err
+	}
+	s.sleep(wait)
+	s.enterWrites(1)
+	dst, _ := s.routeWrite(nsKey(t.ts.name, key))
+	err = s.applyPut(dst, nsKey(t.ts.name, key), value)
+	s.exitWrite()
+	t.ts.reqLat.ObserveDuration(s.reg.Now() - start)
+	return err
+}
+
+// Del removes key. During a rebalance the delete also lands on the
+// target-ring shard so no migrated copy can resurrect the key.
+func (t *Tenant) Del(key string) error {
+	s := t.s
+	if s.isClosed() {
+		return ErrClosed
+	}
+	start := s.reg.Now()
+	wait, err := s.adm.admit(t.ts, 0, 1)
+	if err != nil {
+		return err
+	}
+	s.sleep(wait)
+	s.enterWrites(1)
+	nsk := nsKey(t.ts.name, key)
+	dst, shadow := s.routeWrite(nsk)
+	err = s.applyDel(dst, nsk)
+	if err == nil && shadow != nil {
+		err = s.applyDel(shadow, nsk)
+	}
+	s.exitWrite()
+	t.ts.reqLat.ObserveDuration(s.reg.Now() - start)
+	return err
+}
+
+// Get returns the tenant's value for key.
+func (t *Tenant) Get(key string) ([]byte, error) {
+	s := t.s
+	if s.isClosed() {
+		return nil, ErrClosed
+	}
+	start := s.reg.Now()
+	wait, err := s.adm.admit(t.ts, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	s.sleep(wait)
+	nsk := nsKey(t.ts.name, key)
+	dst, _ := s.routeWrite(nsk)
+	v, err := s.applyGet(dst, nsk)
+	t.ts.reqLat.ObserveDuration(s.reg.Now() - start)
+	return v, err
+}
+
+// Scan calls fn for every tenant key with the given prefix, in key
+// order, with the namespace stripped. Scans concurrent with a
+// rebalance are best-effort.
+func (t *Tenant) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	s := t.s
+	if s.isClosed() {
+		return ErrClosed
+	}
+	if _, err := s.adm.admit(t.ts, 0, 1); err != nil {
+		return err
+	}
+	ns := nsKey(t.ts.name, prefix)
+	strip := len(nsKey(t.ts.name, ""))
+	ring, shards := s.snapshotRing()
+	var all []Pair
+	for _, sh := range shards {
+		pairs, err := s.scanShard(ring, sh, ns)
+		if err != nil {
+			return err
+		}
+		all = append(all, pairs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	for _, pr := range all {
+		if !fn(pr.Key[strip:], pr.Value) {
+			break
+		}
+	}
+	return nil
+}
+
+// Barrier flushes every shard, making all of the tenant's earlier puts
+// durable (the end-of-checkpoint commit point).
+func (t *Tenant) Barrier() error {
+	s := t.s
+	if s.isClosed() {
+		return ErrClosed
+	}
+	start := s.reg.Now()
+	_, shards := s.snapshotRing()
+	for _, sh := range shards {
+		if err := s.applyBarrier(sh); err != nil {
+			return err
+		}
+	}
+	t.ts.reqLat.ObserveDuration(s.reg.Now() - start)
+	return nil
+}
+
+// ---- lifecycle --------------------------------------------------------
+
+// Close fences in-flight writes and closes every shard store. Later
+// operations return ErrClosed.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	shards := s.shards
+	s.mu.Unlock()
+	s.fenceWrites()
+	var first error
+	for _, sh := range shards {
+		s.lock(sh)
+		err := sh.mgr.Close()
+		s.unlock(sh)
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// keyEqual reports whether two values are byte-identical.
+func keyEqual(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,354 @@
+package svc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"lsmio/internal/core"
+	"lsmio/internal/obs"
+	"lsmio/internal/resil"
+	"lsmio/internal/vfs"
+)
+
+// newLocalService builds a goroutine-mode service: every shard on its
+// own MemFS, one shared registry, optional manifest filesystem.
+func newLocalService(t *testing.T, shards int, adm AdmissionConfig, mfs vfs.FS) *Service {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, err := New(Options{
+		Shards: shards,
+		OpenShard: func(i int) (*core.Manager, error) {
+			return core.NewManager("store", core.ManagerOptions{
+				Store: core.StoreOptions{FS: vfs.NewMemFS(), Async: true},
+				Obs:   reg,
+			})
+		},
+		Obs:        reg,
+		Admission:  adm,
+		ManifestFS: mfs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLocalBasic(t *testing.T) {
+	mfs := vfs.NewMemFS()
+	s := newLocalService(t, 3, AdmissionConfig{}, mfs)
+	defer s.Close()
+
+	a := s.Tenant("app-a")
+	b := s.Tenant("app-b")
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("step000/block%03d", i)
+		if err := a.Put(key, []byte(fmt.Sprintf("a%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Put(key, []byte(fmt.Sprintf("b%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant namespaces are disjoint: same key, different values.
+	v, err := a.Get("step000/block007")
+	if err != nil || string(v) != "a007" {
+		t.Fatalf("tenant a read %q, %v", v, err)
+	}
+	v, err = b.Get("step000/block007")
+	if err != nil || string(v) != "b007" {
+		t.Fatalf("tenant b read %q, %v", v, err)
+	}
+	if _, err := a.Get("absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("miss returned %v, want ErrNotFound", err)
+	}
+
+	// Scan sees only the tenant's own keys, in order, unprefixed.
+	var keys []string
+	if err := a.Scan("step000/", func(k string, v []byte) bool {
+		if !bytes.HasPrefix(v, []byte("a")) {
+			t.Fatalf("tenant a scan leaked value %q", v)
+		}
+		keys = append(keys, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 50 || keys[0] != "step000/block000" || keys[49] != "step000/block049" {
+		t.Fatalf("scan returned %d keys (first %q)", len(keys), keys[0])
+	}
+
+	if err := a.Del("step000/block007"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Get("step000/block007"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key still readable: %v", err)
+	}
+
+	// The manifest reflects the layout and tenant table.
+	m, err := ReadManifest(mfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 3 || len(m.Tenants) != 0 {
+		// Tenants registered via Tenant() (defaults) only enter the
+		// manifest after an explicit RegisterTenant.
+		t.Logf("manifest: %+v", m)
+	}
+	if _, err := s.RegisterTenant("app-a", TenantConfig{Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = ReadManifest(mfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards != 3 || len(m.Tenants) == 0 || m.Tenants[0].Weight != 2 {
+		t.Fatalf("manifest after register: %+v", m)
+	}
+}
+
+func TestLocalRebalance(t *testing.T) {
+	s := newLocalService(t, 1, AdmissionConfig{}, nil)
+	defer s.Close()
+	tn := s.Tenant("app")
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tn.Put(fmt.Sprintf("k%04d", i), []byte(fmt.Sprintf("v%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tn.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Rebalance(4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 || s.Epoch() != 1 {
+		t.Fatalf("after grow: shards=%d epoch=%d", s.Shards(), s.Epoch())
+	}
+	if moved := s.reg.Counter("svc.rebalance.moved_keys").Load(); moved == 0 {
+		t.Fatal("grow to 4 shards moved no keys")
+	}
+	count := 0
+	if err := tn.Scan("", func(k string, v []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("after grow: scan found %d keys, want %d", count, n)
+	}
+	for i := 0; i < n; i += 17 {
+		v, err := tn.Get(fmt.Sprintf("k%04d", i))
+		if err != nil || string(v) != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("k%04d after grow: %q %v", i, v, err)
+		}
+	}
+
+	// Shrink back down: removed shards' keys must come home.
+	if err := s.Rebalance(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 2 || s.Epoch() != 2 {
+		t.Fatalf("after shrink: shards=%d epoch=%d", s.Shards(), s.Epoch())
+	}
+	count = 0
+	if err := tn.Scan("", func(k string, v []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("after shrink: scan found %d keys, want %d", count, n)
+	}
+}
+
+// TestConcurrentTenants drives N goroutine tenants into a shared shard
+// pool; with -race this is the data-race regression for the service
+// core.
+func TestConcurrentTenants(t *testing.T) {
+	s := newLocalService(t, 2, AdmissionConfig{}, nil)
+	defer s.Close()
+	const tenants, puts = 8, 120
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		ti := ti
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tn := s.Tenant(fmt.Sprintf("tenant%d", ti))
+			for i := 0; i < puts; i++ {
+				if err := tn.Put(fmt.Sprintf("k%04d", i), bytes.Repeat([]byte{byte(ti)}, 128)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := tn.Barrier(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for ti := 0; ti < tenants; ti++ {
+		tn := s.Tenant(fmt.Sprintf("tenant%d", ti))
+		count := 0
+		if err := tn.Scan("", func(k string, v []byte) bool {
+			if len(v) != 128 || v[0] != byte(ti) {
+				t.Fatalf("tenant %d key %s holds foreign value", ti, k)
+			}
+			count++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != puts {
+			t.Fatalf("tenant %d has %d keys, want %d", ti, count, puts)
+		}
+	}
+}
+
+// TestConcurrentRebalance commits from several tenants while the pool
+// grows underneath them: no acknowledged write may be lost.
+func TestConcurrentRebalance(t *testing.T) {
+	s := newLocalService(t, 2, AdmissionConfig{}, nil)
+	defer s.Close()
+	const tenants, puts = 4, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants+1)
+	for ti := 0; ti < tenants; ti++ {
+		ti := ti
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tn := s.Tenant(fmt.Sprintf("tenant%d", ti))
+			for i := 0; i < puts; i++ {
+				if err := tn.Put(fmt.Sprintf("k%04d", i), []byte(fmt.Sprintf("%d-%04d", ti, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := tn.Barrier(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+		if err := s.Rebalance(5); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Shards() != 5 {
+		t.Fatalf("shards=%d after rebalance", s.Shards())
+	}
+	for ti := 0; ti < tenants; ti++ {
+		tn := s.Tenant(fmt.Sprintf("tenant%d", ti))
+		for i := 0; i < puts; i++ {
+			want := fmt.Sprintf("%d-%04d", ti, i)
+			v, err := tn.Get(fmt.Sprintf("k%04d", i))
+			if err != nil || string(v) != want {
+				t.Fatalf("tenant %d k%04d after rebalance: %q %v", ti, i, v, err)
+			}
+		}
+	}
+}
+
+func TestQuotaExhaustion(t *testing.T) {
+	s := newLocalService(t, 1, AdmissionConfig{
+		CapacityBytesPerSec: 1 << 20, // 1 MB/s
+		MaxWait:             20 * time.Millisecond,
+	}, nil)
+	defer s.Close()
+	if _, err := s.RegisterTenant("greedy", TenantConfig{Weight: 1, BurstBytes: 64 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	tn := s.Tenant("greedy")
+	var qe *QuotaError
+	var last error
+	for i := 0; i < 64 && qe == nil; i++ {
+		last = tn.Put(fmt.Sprintf("k%d", i), make([]byte, 32<<10))
+		errors.As(last, &qe)
+	}
+	if qe == nil {
+		t.Fatal("quota never exhausted")
+	}
+	if got := resil.Classify(last); got != resil.ClassTransient {
+		t.Fatalf("QuotaError classified %v, want transient", got)
+	}
+	if qe.RetryAfter <= 0 || qe.Tenant != "greedy" {
+		t.Fatalf("unexpected QuotaError: %+v", qe)
+	}
+	if s.reg.Counter("svc.tenant.greedy.quota_rejects").Load() == 0 {
+		t.Fatal("rejects counter not incremented")
+	}
+}
+
+// TestFairShareWeights verifies the admission math directly: with a
+// shared capacity, a weight-3 tenant gets three times the byte rate of
+// a weight-1 tenant.
+func TestFairShareWeights(t *testing.T) {
+	s := newLocalService(t, 1, AdmissionConfig{CapacityBytesPerSec: 4 << 20}, nil)
+	defer s.Close()
+	if _, err := s.RegisterTenant("heavy", TenantConfig{Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterTenant("light", TenantConfig{Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.adm.mu.Lock()
+	heavy := s.adm.tenants["heavy"].bytesB.rate
+	light := s.adm.tenants["light"].bytesB.rate
+	s.adm.mu.Unlock()
+	if heavy != 3<<20 || light != 1<<20 {
+		t.Fatalf("rates heavy=%v light=%v, want 3MiB/1MiB split", heavy, light)
+	}
+	// A hard cap tightens the share, never loosens it.
+	if _, err := s.RegisterTenant("heavy", TenantConfig{Weight: 3, BytesPerSec: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	s.adm.mu.Lock()
+	capped := s.adm.tenants["heavy"].bytesB.rate
+	s.adm.mu.Unlock()
+	if capped != 1<<20 {
+		t.Fatalf("hard cap ignored: rate=%v", capped)
+	}
+}
+
+func TestServiceClosed(t *testing.T) {
+	s := newLocalService(t, 2, AdmissionConfig{}, nil)
+	tn := s.Tenant("app")
+	if err := tn.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	if err := tn.Put("k2", []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, err := tn.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Rebalance(3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Rebalance after Close = %v, want ErrClosed", err)
+	}
+}
