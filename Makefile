@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench bench-smoke obs-smoke restore-chaos svc-smoke
+.PHONY: build test check race vet bench bench-smoke obs-smoke restore-chaos svc-smoke svc-chaos
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 # enumeration sweeps in internal/robustness) under the race detector,
 # plus a quick-scale end-to-end smoke of the extension figures and an
 # observability check over their emitted JSON.
-check: vet race restore-chaos svc-smoke obs-smoke
+check: vet race restore-chaos svc-chaos svc-smoke obs-smoke
 
 # Multi-tenant service smoke: a simulated lsmiod session with four
 # behaved tenants beside a flooding noisy neighbor must keep the
@@ -35,6 +35,15 @@ svc-smoke:
 # restore regression is named in the gate output, not buried in `race`.
 restore-chaos:
 	$(GO) test -race -run TestRestoreChaosCombinedFaults -v ./internal/robustness/
+
+# End-to-end service chaos: crash a shard at every rebalance phase,
+# partition the fabric mid-commit, and kill-and-restart the whole
+# daemon — all under the race detector. The invariant is that every
+# client-acknowledged commit is restorable and tenants only ever see
+# typed retryable errors. Failures dump the obs trace ring plus the
+# full metrics table (TRACE_*.txt) for CI to upload.
+svc-chaos:
+	$(GO) test -race -run TestServiceChaos -v ./internal/robustness/
 
 # Quick-scale run of the extension figures. The BENCH_*.json files land
 # at the repo root so the perf trajectory is versioned with the code,

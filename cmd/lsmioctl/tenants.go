@@ -10,14 +10,17 @@ import (
 	"lsmio/internal/svc"
 )
 
-// tenantsCmd implements `lsmioctl tenants [-json]` for a service
-// directory (one holding a SERVICE.json written by lsmiod): the tenant
-// quota table and shard layout, without opening the shard stores.
+// tenantsCmd implements `lsmioctl tenants [-json] [-health]` for a
+// service directory (one holding a SERVICE.json written by lsmiod): the
+// tenant quota table and shard layout, without opening the shard
+// stores. -health adds the supervisor's per-shard view (state, restart
+// counts, breaker status) recorded when the manifest was last written.
 func tenantsCmd(fs lsmio.FS, args []string) {
 	fset := flag.NewFlagSet("tenants", flag.ExitOnError)
 	asJSON := fset.Bool("json", false, "emit the manifest as JSON")
+	health := fset.Bool("health", false, "show per-shard supervisor state, restarts, and breaker status")
 	fset.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: lsmioctl -dir <service> tenants [-json]")
+		fmt.Fprintln(os.Stderr, "usage: lsmioctl -dir <service> tenants [-json] [-health]")
 		fset.PrintDefaults()
 		os.Exit(2)
 	}
@@ -41,6 +44,20 @@ func tenantsCmd(fs lsmio.FS, args []string) {
 	fmt.Printf("%-24s %8s %14s %12s\n", "TENANT", "WEIGHT", "BYTES/S", "OPS/S")
 	for _, t := range m.Tenants {
 		fmt.Printf("%-24s %8.2f %14s %12s\n", t.Name, t.Weight, rateOrDash(t.BytesPerSec), rateOrDash(t.OpsPerSec))
+	}
+	if *health {
+		if len(m.ShardStatus) == 0 {
+			fmt.Println("\nno shard health recorded (manifest predates the supervisor, or it was disabled)")
+			return
+		}
+		fmt.Printf("\n%-6s %-11s %9s %-10s %11s\n", "SHARD", "STATE", "RESTARTS", "BREAKER", "CONSEC-ERRS")
+		for _, sh := range m.ShardStatus {
+			breaker := sh.Breaker
+			if breaker == "" {
+				breaker = "-"
+			}
+			fmt.Printf("%-6d %-11s %9d %-10s %11d\n", sh.Shard, sh.State, sh.Restarts, breaker, sh.ConsecErrs)
+		}
 	}
 }
 

@@ -67,15 +67,17 @@ type tenantReport struct {
 }
 
 type report struct {
-	Mode        string         `json:"mode"`
-	Shards      int            `json:"shards"`
-	Tenants     int            `json:"tenants"`
-	Noisy       bool           `json:"noisy"`
-	Fair        bool           `json:"fair"`
-	SoloP99Ms   float64        `json:"solo_p99_ms,omitempty"`
-	P99Ms       float64        `json:"p99_ms"`
-	AggBytesSec float64        `json:"aggregate_bytes_per_sec"`
-	Tenant      []tenantReport `json:"tenant"`
+	Mode          string            `json:"mode"`
+	Shards        int               `json:"shards"`
+	Tenants       int               `json:"tenants"`
+	Noisy         bool              `json:"noisy"`
+	Fair          bool              `json:"fair"`
+	SoloP99Ms     float64           `json:"solo_p99_ms,omitempty"`
+	P99Ms         float64           `json:"p99_ms"`
+	AggBytesSec   float64           `json:"aggregate_bytes_per_sec"`
+	Tenant        []tenantReport    `json:"tenant"`
+	ShardRestarts int64             `json:"shard_restarts"`
+	ShardHealth   []svc.ShardStatus `json:"shard_health,omitempty"`
 }
 
 type sessionResult struct {
@@ -83,6 +85,7 @@ type sessionResult struct {
 	stalls   map[string]time.Duration // per-tenant worst step
 	makespan time.Duration
 	snap     obs.Snapshot
+	health   []svc.ShardStatus // supervisor view at session end
 }
 
 func main() {
@@ -163,6 +166,8 @@ func main() {
 		}
 		rep.Tenant = append(rep.Tenant, tr)
 	}
+	rep.ShardRestarts = res.snap.Counters["svc.supervisor.restarts"]
+	rep.ShardHealth = res.health
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -185,6 +190,16 @@ func main() {
 			fmt.Printf("  %-12s %12s %8d %12d %8d\n", tr.Name, stall, tr.Ops, tr.Bytes, tr.Rejects)
 		}
 		fmt.Printf("  behaved p99 %v, aggregate %.1f MB/s\n", res.p99.Round(time.Microsecond), rep.AggBytesSec/1e6)
+		if rep.ShardRestarts > 0 {
+			fmt.Printf("  supervisor: %d shard restart(s)\n", rep.ShardRestarts)
+			for _, sh := range rep.ShardHealth {
+				if sh.Restarts > 0 || sh.State != "up" {
+					fmt.Printf("    shard %03d: %s, %d restart(s), breaker %s\n", sh.Shard, sh.State, sh.Restarts, sh.Breaker)
+				}
+			}
+		} else if len(rep.ShardHealth) > 0 {
+			fmt.Printf("  supervisor: all %d shard(s) up, no restarts\n", len(rep.ShardHealth))
+		}
 	}
 
 	if *assertFair > 0 {
@@ -331,6 +346,7 @@ func runSim(shards, tenants, steps, blocks int, blockBytes int64, noisy bool, ad
 			res.p99 = d
 		}
 	}
+	res.health = s.ShardStatuses()
 	res.snap = cluster.Obs().Snapshot().Merge(reg.Snapshot())
 	return res, nil
 }
@@ -408,6 +424,7 @@ func runDir(dir string, shards, tenants, steps, blocks int, blockBytes int64, fa
 			res.p99 = d
 		}
 	}
+	res.health = s.ShardStatuses()
 	if err := s.Close(); err != nil {
 		return sessionResult{}, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"lsmio/internal/lsm"
 	"lsmio/internal/obs"
 	"lsmio/internal/pfs"
+	"lsmio/internal/resil"
 	"lsmio/internal/sim"
 	"lsmio/internal/svc"
 )
@@ -55,6 +57,7 @@ func ExtService() Figure {
 			{Name: "solo-p99"},
 			{Name: "victim-fair"},
 			{Name: "victim-nofair"},
+			{Name: "fault-aggregate"},
 		},
 		Checks: []Check{
 			{
@@ -93,6 +96,32 @@ func ExtService() Figure {
 						return 0, fmt.Errorf("bench: no fair-run metrics")
 					}
 					return float64(snap.Counters["svc.tenant.noisy.quota_rejects"]), nil
+				},
+				Min: 1,
+			},
+			{
+				Desc: "behaved-tenant availability ≥99% through a single-shard crash-restart cycle",
+				Ratio: func(fr *FigureResult) (float64, error) {
+					snap, ok := fr.Metrics["fault"]
+					if !ok {
+						return 0, fmt.Errorf("bench: no fault-run metrics")
+					}
+					total := snap.Counters["svc.bench.sla_total"]
+					if total == 0 {
+						return 0, fmt.Errorf("bench: fault run issued no requests")
+					}
+					return float64(snap.Counters["svc.bench.sla_ok"]) / float64(total), nil
+				},
+				Min: 0.99,
+			},
+			{
+				Desc: "the supervisor recovered the crashed shard (restart observed, MTTR recorded)",
+				Ratio: func(fr *FigureResult) (float64, error) {
+					snap, ok := fr.Metrics["fault"]
+					if !ok {
+						return 0, fmt.Errorf("bench: no fault-run metrics")
+					}
+					return float64(snap.Counters["svc.supervisor.restarts"]), nil
 				},
 				Min: 1,
 			},
@@ -204,6 +233,35 @@ func runServiceFigure(f Figure, scale Scale, progress func(string)) (*FigureResu
 				f.ID, tenants, fair.agg/1e6, fair.p99.Round(time.Microsecond),
 				nofair.agg/1e6, nofair.p99.Round(time.Microsecond)))
 		}
+	}
+
+	// Under-fault panel: rerun the max tenant count with fair admission
+	// and the shard supervisor enabled, crash one shard as the first
+	// commit wave lands, and measure per-request availability while the
+	// supervisor restarts it.
+	maxTenants := scale.Nodes[len(scale.Nodes)-1]
+	adm := svc.AdmissionConfig{
+		CapacityBytesPerSec: 2 * demand * float64(maxTenants+1),
+		MaxWait:             solo.p99 / 4,
+	}
+	fault, err := runServiceFaultRun(scale, maxTenants, adm, compute)
+	if err != nil {
+		return nil, fmt.Errorf("ext-service fault n=%d: %w", maxTenants, err)
+	}
+	fr.addMetrics("fault", fault.snapshot)
+	fr.Points = append(fr.Points, Point{
+		Series: "fault-aggregate", Transfer: kb64, StripeCount: 4, Nodes: maxTenants, BW: fault.agg,
+	})
+	if progress != nil {
+		total := fault.snapshot.Counters["svc.bench.sla_total"]
+		ok := fault.snapshot.Counters["svc.bench.sla_ok"]
+		avail := 0.0
+		if total > 0 {
+			avail = float64(ok) / float64(total)
+		}
+		progress(fmt.Sprintf("%s n=%-2d fault agg=%9.1f MB/s avail=%6.2f%% restarts=%d",
+			f.ID, maxTenants, fault.agg/1e6, 100*avail,
+			fault.snapshot.Counters["svc.supervisor.restarts"]))
 	}
 	return fr, nil
 }
@@ -353,6 +411,175 @@ func runServiceRun(scale Scale, behaved int, noisy bool, adm svc.AdmissionConfig
 	committed := float64(behaved) * float64(svcSteps) * float64(scale.PerRankBytes)
 	return svcRunResult{
 		p99:      p99,
+		agg:      committed / makespan.Seconds(),
+		snapshot: cluster.Obs().Snapshot().Merge(reg.Snapshot()),
+	}, nil
+}
+
+// runServiceFaultRun executes the under-fault arm of the service
+// figure: `behaved` tenants on the usual compute/commit cadence, fair
+// admission on, no noisy neighbor, and the shard supervisor enabled
+// with a tight restart backoff. A chaos proc crashes shard 0 in the
+// middle of the first commit wave; tenants retry typed transient
+// failures (ShardDownError while the supervisor restarts the shard,
+// quota smoothing, fabric hiccups) and a request counts toward
+// availability when it completes within one compute period of its
+// first attempt — a latency SLO about 12x the solo p99, so only
+// fault-induced stalls miss it. A barrier that reports asynchronous
+// write loss makes the tenant replay the whole step, mirroring how a
+// real checkpoint client must re-offer data the service never made
+// durable.
+func runServiceFaultRun(scale Scale, behaved int, adm svc.AdmissionConfig, compute time.Duration) (svcRunResult, error) {
+	k := sim.NewKernel()
+	clients := behaved + 1
+	cluster := pfs.NewCluster(k, pfs.VikingConfig(clients+svcShards))
+	reg := obs.NewRegistry()
+	reg.SetClock(func() time.Duration { return k.Now().Duration() })
+
+	var s *svc.Service
+	var front *svc.Front
+	var setupErr error
+	k.Spawn("svc-setup", func(p *sim.Proc) {
+		s, setupErr = svc.New(svc.Options{
+			Shards: svcShards,
+			OpenShard: func(i int) (*core.Manager, error) {
+				return core.NewManager(fmt.Sprintf("svc/shard%03d", i), core.ManagerOptions{
+					Store: core.StoreOptions{
+						FS:              cluster.Client(clients + i),
+						Platform:        lsm.SimPlatform(k),
+						Async:           true,
+						WriteBufferSize: scale.BufferSize,
+					},
+					Kernel: k,
+					Obs:    reg,
+				})
+			},
+			Kernel:     k,
+			Obs:        reg,
+			Admission:  adm,
+			Supervisor: svc.SupervisorConfig{RestartBackoff: 500 * time.Microsecond},
+		})
+		if setupErr != nil {
+			return
+		}
+		nodes := make([]int, svcShards)
+		for i := range nodes {
+			nodes[i] = clients + i
+		}
+		front = svc.NewFront(s, cluster.Fabric(), nodes)
+		cfg := svc.TenantConfig{Weight: 1, BurstBytes: float64(scale.PerRankBytes)}
+		for t := 0; t < behaved; t++ {
+			if _, err := s.RegisterTenant(fmt.Sprintf("tenant%02d", t), cfg); err != nil {
+				setupErr = err
+				return
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		return svcRunResult{}, err
+	}
+	if setupErr != nil {
+		return svcRunResult{}, setupErr
+	}
+
+	if compute <= 0 {
+		compute = time.Millisecond
+	}
+	slo := compute
+	slaTotal := reg.Counter("svc.bench.sla_total")
+	slaOK := reg.Counter("svc.bench.sla_ok")
+	// slaOp issues one logical request: retry typed transient failures
+	// with a short pause, count the request as available when it
+	// succeeds within the SLO of its first attempt. Write-loss reports
+	// are returned to the caller (the step must be replayed, not the
+	// barrier); non-typed errors abort the run.
+	slaOp := func(p *sim.Proc, op func() error) error {
+		slaTotal.Inc()
+		start := p.Now().Duration()
+		for {
+			err := op()
+			elapsed := p.Now().Duration() - start
+			if err == nil {
+				if elapsed <= slo {
+					slaOK.Inc()
+				}
+				return nil
+			}
+			var wl *svc.WriteLossError
+			if errors.As(err, &wl) {
+				return err
+			}
+			if resil.Classify(err) != resil.ClassTransient || elapsed > 2*time.Second {
+				return err
+			}
+			p.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	block := make([]byte, stepBlockSize(scale))
+	stalls := make([]time.Duration, 0, behaved*svcSteps)
+	errs := make([]error, behaved+1)
+	var makespan time.Duration
+	for t := 0; t < behaved; t++ {
+		t := t
+		k.Spawn(fmt.Sprintf("svc-tenant%02d", t), func(p *sim.Proc) {
+			c := front.Connect(fmt.Sprintf("tenant%02d", t), t)
+			if off := compute * time.Duration(t) / time.Duration(behaved); off > 0 {
+				p.Sleep(off)
+			}
+			for step := 0; step < svcSteps; step++ {
+				p.Sleep(compute)
+				start := p.Now()
+			replay:
+				for {
+					for b := 0; b < svcBlocks; b++ {
+						key := fmt.Sprintf("step%03d/block%03d", step, b)
+						if err := slaOp(p, func() error { return c.Put(key, block) }); err != nil {
+							errs[t] = err
+							return
+						}
+					}
+					err := slaOp(p, c.Barrier)
+					var wl *svc.WriteLossError
+					if errors.As(err, &wl) {
+						continue replay
+					}
+					if err != nil {
+						errs[t] = err
+						return
+					}
+					break
+				}
+				stalls = append(stalls, p.Now().Sub(start))
+			}
+			if end := p.Now().Duration(); end > makespan {
+				makespan = end
+			}
+		})
+	}
+	// The chaos proc crashes shard 0 when the staggered commit waves are
+	// in full swing (tenant t commits around compute*(1+t/behaved), so
+	// 1.5 compute periods lands mid-spread) and the supervisor must
+	// recover it while requests are arriving.
+	k.Spawn("svc-bench-chaos", func(p *sim.Proc) {
+		p.Sleep(compute + compute/2)
+		errs[behaved] = s.CrashShard(0)
+	})
+	if err := k.Run(); err != nil {
+		return svcRunResult{}, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return svcRunResult{}, err
+		}
+	}
+	if len(stalls) == 0 || makespan <= 0 {
+		return svcRunResult{}, fmt.Errorf("bench: service fault run measured nothing")
+	}
+	sort.Slice(stalls, func(i, j int) bool { return stalls[i] < stalls[j] })
+	committed := float64(behaved) * float64(svcSteps) * float64(scale.PerRankBytes)
+	return svcRunResult{
+		p99:      stalls[(len(stalls)*99+99)/100-1],
 		agg:      committed / makespan.Seconds(),
 		snapshot: cluster.Obs().Snapshot().Merge(reg.Snapshot()),
 	}, nil

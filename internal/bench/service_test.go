@@ -15,8 +15,8 @@ func TestExtServiceFigureRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One solo point plus four series per tenant count.
-	if want := 1 + 4*len(scale.Nodes); len(fr.Points) != want {
+	// One solo point, four series per tenant count, one fault point.
+	if want := 1 + 4*len(scale.Nodes) + 1; len(fr.Points) != want {
 		t.Fatalf("points=%d, want %d", len(fr.Points), want)
 	}
 	agg1, err := fr.BW("fair-aggregate", kb64, 4, 1)
@@ -42,6 +42,19 @@ func TestExtServiceFigureRuns(t *testing.T) {
 	}
 	if snap.Counters["svc.tenant.noisy.bytes_in"] == 0 || snap.Counters["svc.tenant.tenant00.ops"] == 0 {
 		t.Fatal("per-tenant counters missing from snapshot")
+	}
+	// The under-fault panel: the supervisor must have recovered the
+	// crashed shard while the SLA accounting saw requests on both sides
+	// of the crash.
+	fsnap, ok := fr.Metrics["fault"]
+	if !ok {
+		t.Fatal("no fault-run metrics recorded")
+	}
+	if fsnap.Counters["svc.supervisor.restarts"] == 0 {
+		t.Fatal("fault run: supervisor never restarted the crashed shard")
+	}
+	if fsnap.Counters["svc.bench.sla_total"] == 0 {
+		t.Fatal("fault run: no SLA-accounted requests")
 	}
 	for _, o := range fr.Evaluate() {
 		if o.Err != nil {

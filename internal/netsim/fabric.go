@@ -36,10 +36,11 @@ func DefaultConfig(nodes int) Config {
 
 // Fabric is the simulated interconnect.
 type Fabric struct {
-	k   *sim.Kernel
-	cfg Config
-	tx  []*sim.Resource // per-node transmit side
-	rx  []*sim.Resource // per-node receive side
+	k    *sim.Kernel
+	cfg  Config
+	tx   []*sim.Resource // per-node transmit side
+	rx   []*sim.Resource // per-node receive side
+	plan *Plan           // fault schedule, nil when the fabric is healthy
 
 	bytesMoved int64
 	messages   int64
@@ -114,6 +115,43 @@ func (f *Fabric) Transfer(p *sim.Proc, from, to int, size int64) {
 			break
 		}
 	}
+}
+
+// SetPlan installs (or, with nil, removes) a fault plan. Only
+// TryTransfer consults the plan; Transfer always delivers, so
+// infrastructure traffic can bypass injection.
+func (f *Fabric) SetPlan(pl *Plan) { f.plan = pl }
+
+// Plan returns the installed fault plan, nil when healthy.
+func (f *Fabric) Plan() *Plan { return f.plan }
+
+// TryTransfer moves size bytes from node `from` to node `to` under the
+// installed fault plan. A dropped message still charges the base
+// latency (it left the NIC before dying) and returns a *DropError; a
+// duplicated message is charged and counted twice and reported via dup
+// so the receiver-side protocol can model the double delivery; a
+// delayed message pays the extra latency before the normal transfer.
+// With no plan installed TryTransfer is exactly Transfer.
+func (f *Fabric) TryTransfer(p *sim.Proc, from, to int, size int64) (dup bool, err error) {
+	pl := f.plan
+	if pl == nil {
+		f.Transfer(p, from, to, size)
+		return false, nil
+	}
+	delay, dup, drop := pl.verdict(f.k.Now().Duration(), from, to)
+	if delay > 0 {
+		p.Sleep(delay)
+	}
+	if drop {
+		p.Sleep(f.cfg.Latency)
+		f.messages++
+		return false, &DropError{From: from, To: to}
+	}
+	f.Transfer(p, from, to, size)
+	if dup {
+		f.Transfer(p, from, to, size)
+	}
+	return dup, nil
 }
 
 // BytesMoved reports the cumulative payload bytes transferred.

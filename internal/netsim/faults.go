@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fault injection for the fabric, mirroring faultfs's scheduled-error
+// style at the network layer: a Plan is a deterministic schedule of
+// partitions, link flaps, and per-transfer rules (drop / duplicate /
+// delay the Nth matching message) that the fabric consults on every
+// TryTransfer. Everything is keyed on virtual time and match counts, so
+// a given seed and schedule always produce the same failure sequence.
+
+// FaultAction is what a matched Rule does to a transfer.
+type FaultAction int
+
+const (
+	// FaultDrop loses the message: the sender pays the base latency
+	// (the message left the NIC before dying) and gets a *DropError.
+	FaultDrop FaultAction = iota
+	// FaultDup delivers the message twice, charging the wire twice.
+	FaultDup
+	// FaultDelay adds Rule.Delay of extra latency before delivery.
+	FaultDelay
+)
+
+func (a FaultAction) String() string {
+	switch a {
+	case FaultDrop:
+		return "drop"
+	case FaultDup:
+		return "dup"
+	case FaultDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Rule schedules a fault on individual transfers, in the style of
+// faultfs.Rule: it arms on the Nth matching transfer and then fires on
+// Times consecutive matches.
+type Rule struct {
+	// From and To select the endpoints; -1 matches any node.
+	From, To int
+	// Nth is the 1-based index of the first matching transfer the rule
+	// fires on (0 behaves as 1: fire immediately).
+	Nth int
+	// Times is how many consecutive matches fire once armed (0 behaves
+	// as 1; negative means every match forever).
+	Times int
+	// Action is what firing does.
+	Action FaultAction
+	// Delay is the extra latency for FaultDelay.
+	Delay time.Duration
+
+	seen, fired int
+}
+
+func (r *Rule) matches(from, to int) bool {
+	return (r.From < 0 || r.From == from) && (r.To < 0 || r.To == to)
+}
+
+// window is a time span during which a set of node pairs cannot talk.
+type window struct {
+	a, b        map[int]bool
+	from, until time.Duration // until <= 0 means forever
+}
+
+func (w *window) active(now time.Duration, from, to int) bool {
+	if now < w.from || (w.until > 0 && now >= w.until) {
+		return false
+	}
+	return (w.a[from] && w.b[to]) || (w.a[to] && w.b[from])
+}
+
+// flap periodically takes a link set down: during each period the link
+// is dead for the first downFor, starting at offset.
+type flap struct {
+	a, b            map[int]bool
+	period, downFor time.Duration
+	offset          time.Duration
+}
+
+func (fl *flap) active(now time.Duration, from, to int) bool {
+	if now < fl.offset || fl.period <= 0 {
+		return false
+	}
+	if !((fl.a[from] && fl.b[to]) || (fl.a[to] && fl.b[from])) {
+		return false
+	}
+	return (now-fl.offset)%fl.period < fl.downFor
+}
+
+// Plan is a deterministic fabric fault schedule. Methods are safe for
+// concurrent use (the fabric may be driven from many procs and the race
+// detector watches the counters).
+type Plan struct {
+	mu      sync.Mutex
+	windows []*window
+	flaps   []*flap
+	rules   []*Rule
+
+	dropped    int64
+	duplicated int64
+	delayed    int64
+}
+
+// NewPlan returns an empty fault plan.
+func NewPlan() *Plan { return &Plan{} }
+
+func nodeSet(nodes []int) map[int]bool {
+	m := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		m[n] = true
+	}
+	return m
+}
+
+// Partition makes the node sets a and b unable to exchange messages
+// (either direction) from virtual time `from` until `until`; until <= 0
+// partitions forever (until Heal). Returns the plan for chaining.
+func (pl *Plan) Partition(a, b []int, from, until time.Duration) *Plan {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.windows = append(pl.windows, &window{a: nodeSet(a), b: nodeSet(b), from: from, until: until})
+	return pl
+}
+
+// FlapLink takes the a<->b links down for downFor at the start of every
+// period, beginning at offset — a link that keeps coming and going.
+func (pl *Plan) FlapLink(a, b []int, period, downFor, offset time.Duration) *Plan {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.flaps = append(pl.flaps, &flap{a: nodeSet(a), b: nodeSet(b), period: period, downFor: downFor, offset: offset})
+	return pl
+}
+
+// AddRule schedules a per-transfer rule. The rule is copied; the plan
+// owns the match counters.
+func (pl *Plan) AddRule(r Rule) *Plan {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	rc := r
+	pl.rules = append(pl.rules, &rc)
+	return pl
+}
+
+// Heal removes every partition window and flap (scheduled rules keep
+// their remaining budget).
+func (pl *Plan) Heal() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.windows = nil
+	pl.flaps = nil
+}
+
+// ClearRules removes every scheduled per-transfer rule (partition
+// windows and flaps are untouched; see Heal for those).
+func (pl *Plan) ClearRules() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.rules = nil
+}
+
+// Dropped reports how many transfers the plan has dropped.
+func (pl *Plan) Dropped() int64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.dropped
+}
+
+// Duplicated reports how many transfers the plan has duplicated.
+func (pl *Plan) Duplicated() int64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.duplicated
+}
+
+// Delayed reports how many transfers the plan has delayed.
+func (pl *Plan) Delayed() int64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.delayed
+}
+
+// verdict decides the fate of one transfer at virtual time now:
+// extra delay to charge, whether to duplicate, and whether to drop.
+// Partitions and flaps drop; at most one scheduled rule fires per
+// transfer (the first armed match wins).
+func (pl *Plan) verdict(now time.Duration, from, to int) (delay time.Duration, dup, drop bool) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	for _, w := range pl.windows {
+		if w.active(now, from, to) {
+			pl.dropped++
+			return 0, false, true
+		}
+	}
+	for _, fl := range pl.flaps {
+		if fl.active(now, from, to) {
+			pl.dropped++
+			return 0, false, true
+		}
+	}
+	for _, r := range pl.rules {
+		if !r.matches(from, to) {
+			continue
+		}
+		r.seen++
+		nth := r.Nth
+		if nth <= 0 {
+			nth = 1
+		}
+		if r.seen < nth {
+			continue
+		}
+		times := r.Times
+		if times == 0 {
+			times = 1
+		}
+		if times > 0 && r.fired >= times {
+			continue
+		}
+		r.fired++
+		switch r.Action {
+		case FaultDrop:
+			pl.dropped++
+			return 0, false, true
+		case FaultDup:
+			pl.duplicated++
+			return 0, true, false
+		case FaultDelay:
+			pl.delayed++
+			return r.Delay, false, false
+		}
+	}
+	return 0, false, false
+}
+
+// DropError reports a transfer lost to the fault plan. It is a
+// transient fault: the message is gone but the link may work on retry,
+// so resil.Classify maps it to ClassTransient.
+type DropError struct {
+	From, To int
+}
+
+func (e *DropError) Error() string {
+	return fmt.Sprintf("netsim: message %d->%d dropped by fault plan", e.From, e.To)
+}
+
+// TransientFault marks the drop as retryable.
+func (e *DropError) TransientFault() bool { return true }

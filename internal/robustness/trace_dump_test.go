@@ -1,6 +1,7 @@
 package robustness
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -35,6 +36,13 @@ func dumpTraceOnFailure(t *testing.T, label string, reg *obs.Registry) {
 		if err := reg.Trace().Dump(f); err != nil {
 			t.Logf("trace dump: %v", err)
 			return
+		}
+		// Append the full metrics table (per-tenant svc counters, shard
+		// states, supervisor restart/MTTR stats) — the chaos sweeps'
+		// failures usually need both the event ring and the counters.
+		fmt.Fprintf(f, "\n---- metrics snapshot ----\n")
+		if err := reg.Snapshot().WriteTable(f); err != nil {
+			t.Logf("metrics dump: %v", err)
 		}
 		t.Logf("trace ring dumped to %s (%d events, %d dropped)",
 			name, reg.Trace().Len(), reg.Trace().Dropped())

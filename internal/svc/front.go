@@ -19,12 +19,66 @@ import (
 // the sharded, multi-tenant case; admission control runs client-side
 // (modelling credit-based flow control), so a throttled tenant's
 // requests never occupy fabric or shard-queue capacity.
+//
+// Under a netsim fault plan the front is the layer that keeps requests
+// alive: every client operation carries an optional end-to-end deadline
+// (FrontOptions.RequestTimeout) and a bounded hedged retry driven by
+// resil.Policy, so a dropped message, a timed-out reply, or a request
+// that raced a shard restart is retried once before the typed transient
+// error surfaces — and never after the caller's deadline has passed
+// (deadline expiry classifies as resil.ClassCanceled).
 type Front struct {
 	s          *Service
 	fabric     *netsim.Fabric
 	shardNodes []int
+	opts       FrontOptions
 	queues     []*sim.Queue
 	qDepth     []*obs.Gauge
+	// lost tracks asynchronous writes a shard server accepted but lost
+	// before application (the shard crashed mid-request), per tenant.
+	// Each slot's map is owned by that slot's server process.
+	lost []map[string]int
+
+	cRetries  *obs.Counter
+	cTimeouts *obs.Counter
+	cLost     *obs.Counter
+}
+
+// FrontOptions tunes the fabric transport's fault handling. The zero
+// value keeps historical behavior (no deadlines, no extra virtual-time
+// events) apart from the bounded retry, which only fires on transport
+// faults that previously surfaced raw.
+type FrontOptions struct {
+	// RequestTimeout bounds one client operation end to end — attempts
+	// plus backoff — on virtual time. Expiry surfaces as an error
+	// wrapping context.DeadlineExceeded (resil.ClassCanceled: the
+	// caller gave up, so hedged retries never fire past it). Zero means
+	// no deadline.
+	RequestTimeout time.Duration
+	// AttemptTimeout bounds one reply wait. A timed-out attempt counts
+	// as a transient transport fault and is hedge-retried. Zero
+	// defaults to RequestTimeout/2 (no per-attempt bound when both are
+	// zero).
+	AttemptTimeout time.Duration
+	// Retry is the hedged-retry policy for transport faults: dropped
+	// messages, attempt timeouts, and shard-down rejections. Zero
+	// MaxRetries defaults to 1 (one hedged retry); zero BaseDelay to
+	// 50µs. Retry.Timeout is overwritten with RequestTimeout.
+	Retry resil.Policy
+}
+
+func (o FrontOptions) withDefaults() FrontOptions {
+	if o.Retry.MaxRetries <= 0 {
+		o.Retry.MaxRetries = 1
+	}
+	if o.Retry.BaseDelay <= 0 {
+		o.Retry.BaseDelay = 50 * time.Microsecond
+	}
+	if o.AttemptTimeout <= 0 && o.RequestTimeout > 0 {
+		o.AttemptTimeout = o.RequestTimeout / 2
+	}
+	o.Retry.Timeout = o.RequestTimeout
+	return o
 }
 
 type frontOp int
@@ -39,18 +93,26 @@ const (
 )
 
 type frontReq struct {
-	op    frontOp
-	shard int
-	key   string // namespaced key (or scan prefix)
-	value []byte
-	write bool // registered via enterWrites; server must exitWrite
-	reply *sim.Queue
+	op     frontOp
+	shard  int
+	tenant string
+	key    string // namespaced key (or scan prefix)
+	value  []byte
+	write  bool // registered via enterWrites; server must exitWrite
+	reply  *sim.Queue
 }
 
+// frontRep is a reply as it would cross the wire: values, flags, and
+// plain-old-data error payloads (the typed errors the client must be
+// able to reconstruct — sentinels, shard-down, write-loss — travel as
+// data; everything else degrades to a resil class + message).
 type frontRep struct {
 	value    []byte
 	pairs    []Pair
 	notFound bool
+	closed   bool
+	down     *ShardDownError
+	loss     *WriteLossError
 	errClass resil.Class
 	errMsg   string
 }
@@ -63,13 +125,36 @@ func (rep *frontRep) encodeErr(err error) {
 		rep.notFound = true
 		return
 	}
+	if errors.Is(err, ErrClosed) {
+		rep.closed = true
+		return
+	}
+	var sde *ShardDownError
+	if errors.As(err, &sde) {
+		rep.down = sde
+		return
+	}
+	var wle *WriteLossError
+	if errors.As(err, &wle) {
+		rep.loss = wle
+		return
+	}
 	rep.errClass = resil.Classify(err)
 	rep.errMsg = err.Error()
 }
 
 func (rep *frontRep) decodeErr() error {
-	if rep.notFound {
+	switch {
+	case rep.notFound:
 		return ErrNotFound
+	case rep.closed:
+		return ErrClosed
+	case rep.down != nil:
+		d := *rep.down
+		return &d
+	case rep.loss != nil:
+		l := *rep.loss
+		return &l
 	}
 	if rep.errMsg == "" && rep.errClass == resil.ClassOK {
 		return nil
@@ -77,26 +162,78 @@ func (rep *frontRep) decodeErr() error {
 	return &resil.ClassError{C: rep.errClass, Msg: rep.errMsg}
 }
 
+// WriteLossError reports asynchronous writes a shard server accepted
+// but lost before they were applied (the shard crashed with them in
+// flight). It surfaces on the tenant's next Barrier against that shard
+// so a commit covering lost writes is never acknowledged; transient,
+// because re-running the step's writes and re-barriering succeeds once
+// the shard is back. The front never auto-retries it — only the tenant
+// can replay the lost writes.
+type WriteLossError struct {
+	Shard  int
+	Tenant string
+	Lost   int
+}
+
+func (e *WriteLossError) Error() string {
+	return fmt.Sprintf("svc: shard %d lost %d async write(s) for tenant %q before barrier",
+		e.Shard, e.Lost, e.Tenant)
+}
+
+// TransientFault marks the error retryable (by replaying the step).
+func (e *WriteLossError) TransientFault() bool { return true }
+
+// attemptTimeoutError reports one reply wait exceeding AttemptTimeout.
+// Transient: the reply may be stuck behind a dying shard, and a hedged
+// retry on a fresh reply queue can still win.
+type attemptTimeoutError struct {
+	shard int
+	d     time.Duration
+}
+
+func (e *attemptTimeoutError) Error() string {
+	return fmt.Sprintf("svc: shard %d reply timed out after %v", e.shard, e.d)
+}
+
+func (e *attemptTimeoutError) TransientFault() bool { return true }
+
+// timeoutSentinel is what the attempt timer injects into a reply queue.
+type timeoutSentinel struct{}
+
 // frontOpCost models the per-request CPU the shard server spends on
 // decode/dispatch, matching the collective-I/O leader's cost.
 const frontOpCost = 3 * time.Microsecond
 
-// NewFront starts shard server processes over fabric. shardNodes maps
-// shard index to fabric endpoint and must be sized for the largest
-// shard count the service will ever rebalance to. Requires a service
-// running inside the simulator.
+// NewFront starts shard server processes over fabric with default
+// options. shardNodes maps shard index to fabric endpoint and must be
+// sized for the largest shard count the service will ever rebalance
+// to. Requires a service running inside the simulator.
 func NewFront(s *Service, fabric *netsim.Fabric, shardNodes []int) *Front {
+	return NewFrontOpts(s, fabric, shardNodes, FrontOptions{})
+}
+
+// NewFrontOpts is NewFront with explicit fault-handling options.
+func NewFrontOpts(s *Service, fabric *netsim.Fabric, shardNodes []int, opts FrontOptions) *Front {
 	if s.kern == nil {
 		panic("svc: NewFront requires a simulator-mode service")
 	}
 	if len(shardNodes) < s.Shards() {
 		panic("svc: shardNodes must cover every shard")
 	}
-	f := &Front{s: s, fabric: fabric, shardNodes: shardNodes}
+	f := &Front{
+		s:          s,
+		fabric:     fabric,
+		shardNodes: shardNodes,
+		opts:       opts.withDefaults(),
+		cRetries:   s.reg.Counter("svc.front.retries"),
+		cTimeouts:  s.reg.Counter("svc.front.attempt_timeouts"),
+		cLost:      s.reg.Counter("svc.front.lost_writes"),
+	}
 	for i := range shardNodes {
 		i := i
 		f.queues = append(f.queues, sim.NewQueue(s.kern, fmt.Sprintf("svc-shard%d", i)))
 		f.qDepth = append(f.qDepth, s.reg.Gauge(fmt.Sprintf("svc.shard.%03d.queue_max", i)))
+		f.lost = append(f.lost, make(map[string]int))
 		s.kern.Spawn(fmt.Sprintf("svc-shard-%d", i), func(p *sim.Proc) {
 			f.serve(p, i)
 		}).SetDaemon(true)
@@ -123,7 +260,10 @@ func (f *Front) serve(p *sim.Proc, idx int) {
 		var err error
 		sh := s.shardAt(req.shard)
 		if sh == nil {
-			err = fmt.Errorf("svc: shard %d not in pool", req.shard)
+			// Routed by a ring the client saw before a shrink flip:
+			// transient, the retry re-routes under the new ring.
+			err = &resil.ClassError{C: resil.ClassTransient,
+				Msg: fmt.Sprintf("svc: shard %d not in pool", req.shard)}
 		} else {
 			switch req.op {
 			case fopPut:
@@ -136,16 +276,30 @@ func (f *Front) serve(p *sim.Proc, idx int) {
 				ring, _ := s.snapshotRing()
 				rep.pairs, err = s.scanShard(ring, sh, req.key)
 			case fopBarrier:
-				err = s.applyBarrier(sh)
+				// A barrier acknowledges every earlier write on this
+				// shard — refuse it while accepted-but-lost writes are
+				// outstanding for the tenant, so the client never acks
+				// a commit the crash ate.
+				if n := f.lost[idx][req.tenant]; n > 0 {
+					delete(f.lost[idx], req.tenant)
+					err = &WriteLossError{Shard: idx, Tenant: req.tenant, Lost: n}
+				} else {
+					err = s.applyBarrier(sh)
+				}
 			}
 		}
 		if req.write {
 			s.exitWrite()
 		}
 		if err != nil && req.reply == nil {
-			// Asynchronous writes have no reply to carry the error;
-			// count it so the loss is visible in snapshots.
+			// Asynchronous writes have no reply to carry the error:
+			// record the loss against the tenant so its next Barrier
+			// fails instead of falsely acknowledging the step.
 			s.cApplyErrs.Inc()
+			f.cLost.Inc()
+			if req.tenant != "" {
+				f.lost[idx][req.tenant]++
+			}
 		}
 		rep.encodeErr(err)
 		if req.reply != nil {
@@ -193,6 +347,15 @@ func (c *Client) proc() *sim.Proc {
 	return p
 }
 
+// simClock adapts the calling simulation process to resil.Clock so the
+// retry policy's deadline and backoff run on virtual time.
+type simClock struct{ p *sim.Proc }
+
+func (c simClock) Now() time.Duration    { return c.p.Now().Duration() }
+func (c simClock) Sleep(d time.Duration) { c.p.Sleep(d) }
+
+func (c *Client) clock() resil.Clock { return simClock{p: c.proc()} }
+
 // admit runs client-side admission, sleeping out any fair-share delay.
 func (c *Client) admit(nBytes, nOps int) error {
 	s := c.f.s
@@ -209,43 +372,118 @@ func (c *Client) admit(nBytes, nOps int) error {
 	return nil
 }
 
-// send ships one request to a shard server, paying the request
-// transfer; when sync it waits for the reply and pays the return
-// transfer.
-func (c *Client) send(req frontReq, payload int64, sync bool) (frontRep, error) {
+// sendOnce ships one attempt: the request transfer under the fabric's
+// fault plan, queueing, and — when sync — the reply wait plus return
+// transfer. Transport faults (fabric drop, attempt timeout) come back
+// as transient errors; server-side outcomes ride in the reply.
+//
+// When AttemptTimeout is set, a daemon timer process bounds the whole
+// attempt — including fault-plan delay — by injecting a sentinel into
+// the reply queue; each attempt uses a fresh queue, so a late real
+// reply lands in an abandoned one and is harmless.
+func (c *Client) sendOnce(req frontReq, payload int64, sync bool) (frontRep, error) {
 	p := c.proc()
+	settled := false
 	if sync {
 		req.reply = sim.NewQueue(c.f.s.kern, "svc-reply")
+		if d := c.f.opts.AttemptTimeout; d > 0 {
+			c.f.s.kern.Spawn("svc-attempt-timer", func(tp *sim.Proc) {
+				tp.Sleep(d)
+				if !settled {
+					req.reply.Send(timeoutSentinel{})
+				}
+			}).SetDaemon(true)
+		}
 	}
-	c.f.fabric.Transfer(p, c.node, c.f.shardNodes[req.shard], payload+64)
+	dup, err := c.f.fabric.TryTransfer(p, c.node, c.f.shardNodes[req.shard], payload+64)
+	if err != nil {
+		settled = true
+		return frontRep{}, err // dropped; the caller releases any write slot
+	}
 	c.f.queues[req.shard].Send(req)
+	if dup {
+		// Duplicated delivery: the server applies (and, for writes,
+		// exitWrites) twice, so register the extra in-flight slot. Both
+		// deliveries reply; the first wins, the stale one dies with the
+		// queue. Applies are idempotent (put/del/barrier re-apply).
+		if req.write {
+			c.f.s.dupWrite()
+		}
+		c.f.queues[req.shard].Send(req)
+	}
 	if !sync {
 		return frontRep{}, nil
 	}
-	rep := req.reply.Recv(p).(frontRep)
+	v := req.reply.Recv(p)
+	settled = true
+	if _, ok := v.(timeoutSentinel); ok {
+		c.f.cTimeouts.Inc()
+		return frontRep{}, &attemptTimeoutError{shard: req.shard, d: c.f.opts.AttemptTimeout}
+	}
+	rep := v.(frontRep)
 	size := int64(len(rep.value)) + 32
 	for _, pr := range rep.pairs {
 		size += int64(len(pr.Key) + len(pr.Value) + 16)
 	}
 	c.f.fabric.Transfer(p, c.f.shardNodes[req.shard], c.node, size)
-	return rep, rep.decodeErr()
+	return rep, nil
+}
+
+// roundTrip runs a synchronous request under the hedged-retry policy.
+// Transport faults and shard-down rejections are retried (the shard
+// may be back after its restart backoff); every other server-side
+// error — including WriteLossError, which only the tenant can resolve
+// by replaying the step — surfaces without an internal retry.
+func (c *Client) roundTrip(mk func() frontReq, payload int64) (frontRep, error) {
+	var rep frontRep
+	var appErr error
+	pol := c.f.opts.Retry
+	err := pol.Do(nil, c.clock(), fnv64a(c.ts.name), func(attempt int) error {
+		if attempt > 0 {
+			c.f.cRetries.Inc()
+		}
+		r, err := c.sendOnce(mk(), payload, true)
+		if err != nil {
+			return err
+		}
+		rep, appErr = r, r.decodeErr()
+		var sde *ShardDownError
+		if errors.As(appErr, &sde) {
+			return appErr
+		}
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	return rep, appErr
 }
 
 // Put stores key (asynchronous; durable at the next Barrier). The
-// value is copied before transmission.
+// value is copied before transmission. A transfer dropped by the fault
+// plan is hedge-retried with a fresh write slot per attempt.
 func (c *Client) Put(key string, value []byte) error {
 	s := c.f.s
 	start := s.reg.Now()
 	if err := c.admit(len(value), 1); err != nil {
 		return err
 	}
-	s.enterWrites(1)
 	nsk := nsKey(c.ts.name, key)
-	idx := s.routeIdx(nsk)
-	_, err := c.send(frontReq{
-		op: fopPut, shard: idx, key: nsk,
-		value: append([]byte(nil), value...), write: true,
-	}, int64(len(nsk)+len(value)), false)
+	val := append([]byte(nil), value...)
+	pol := c.f.opts.Retry
+	err := pol.Do(nil, c.clock(), fnv64a(nsk), func(attempt int) error {
+		if attempt > 0 {
+			c.f.cRetries.Inc()
+		}
+		s.enterWrites(1)
+		req := frontReq{op: fopPut, shard: s.routeIdx(nsk), tenant: c.ts.name,
+			key: nsk, value: val, write: true}
+		_, err := c.sendOnce(req, int64(len(nsk)+len(val)), false)
+		if err != nil {
+			s.exitWrite() // the message never reached a server
+		}
+		return err
+	})
 	c.ts.reqLat.ObserveDuration(s.reg.Now() - start)
 	return err
 }
@@ -258,26 +496,42 @@ func (c *Client) Del(key string) error {
 	if err := c.admit(0, 1); err != nil {
 		return err
 	}
-	// Register two slots up front: the routes must be read after
-	// registration (so a ring flip cannot slip between routing and
-	// shipping), and re-registering the second slot later could
-	// deadlock against a rebalance cutover.
-	s.enterWrites(2)
 	nsk := nsKey(c.ts.name, key)
-	idx := s.routeIdx(nsk)
-	shadow := s.shadowIdx(nsk)
-	_, err := c.send(frontReq{op: fopDel, shard: idx, key: nsk, write: true}, int64(len(nsk)), false)
-	if err == nil && shadow >= 0 {
-		_, err = c.send(frontReq{op: fopDel, shard: shadow, key: nsk, write: true}, int64(len(nsk)), false)
-	} else {
-		s.exitWrite() // the shadow slot went unused
-	}
+	pol := c.f.opts.Retry
+	err := pol.Do(nil, c.clock(), fnv64a(nsk)+1, func(attempt int) error {
+		if attempt > 0 {
+			c.f.cRetries.Inc()
+		}
+		// Register both slots before routing (so a ring flip cannot
+		// slip between routing and shipping). Each attempt registers
+		// its own slots: a retry must never hold a slot across the
+		// backoff sleep, which could deadlock a cutover fence.
+		s.enterWrites(2)
+		idx := s.routeIdx(nsk)
+		shadow := s.shadowIdx(nsk)
+		if _, err := c.sendOnce(frontReq{op: fopDel, shard: idx, tenant: c.ts.name,
+			key: nsk, write: true}, int64(len(nsk)), false); err != nil {
+			s.exitWrite()
+			s.exitWrite()
+			return err
+		}
+		if shadow < 0 {
+			s.exitWrite() // the shadow slot went unused
+			return nil
+		}
+		_, err := c.sendOnce(frontReq{op: fopDel, shard: shadow, tenant: c.ts.name,
+			key: nsk, write: true}, int64(len(nsk)), false)
+		if err != nil {
+			s.exitWrite() // lost in the fabric; the retry re-deletes both
+		}
+		return err
+	})
 	c.ts.reqLat.ObserveDuration(s.reg.Now() - start)
 	return err
 }
 
 // Get fetches the tenant's value for key: a synchronous round trip to
-// the owning shard.
+// the owning shard (re-routed on every retry attempt).
 func (c *Client) Get(key string) ([]byte, error) {
 	s := c.f.s
 	start := s.reg.Now()
@@ -285,7 +539,9 @@ func (c *Client) Get(key string) ([]byte, error) {
 		return nil, err
 	}
 	nsk := nsKey(c.ts.name, key)
-	rep, err := c.send(frontReq{op: fopGet, shard: s.routeIdx(nsk), key: nsk}, int64(len(nsk)), true)
+	rep, err := c.roundTrip(func() frontReq {
+		return frontReq{op: fopGet, shard: s.routeIdx(nsk), tenant: c.ts.name, key: nsk}
+	}, int64(len(nsk)))
 	c.ts.reqLat.ObserveDuration(s.reg.Now() - start)
 	return rep.value, err
 }
@@ -301,7 +557,10 @@ func (c *Client) Scan(prefix string, fn func(key string, value []byte) bool) err
 	strip := len(nsKey(c.ts.name, ""))
 	var all []Pair
 	for idx := 0; idx < s.Shards(); idx++ {
-		rep, err := c.send(frontReq{op: fopScan, shard: idx, key: ns}, int64(len(ns)), true)
+		idx := idx
+		rep, err := c.roundTrip(func() frontReq {
+			return frontReq{op: fopScan, shard: idx, tenant: c.ts.name, key: ns}
+		}, int64(len(ns)))
 		if err != nil {
 			return err
 		}
@@ -316,7 +575,10 @@ func (c *Client) Scan(prefix string, fn func(key string, value []byte) bool) err
 	return nil
 }
 
-// Barrier flushes every shard: the tenant's commit point.
+// Barrier flushes every shard: the tenant's commit point. A barrier
+// refused because the crash ate earlier async writes surfaces as a
+// WriteLossError — the tenant must replay the step, so the front never
+// retries it internally.
 func (c *Client) Barrier() error {
 	s := c.f.s
 	start := s.reg.Now()
@@ -324,7 +586,10 @@ func (c *Client) Barrier() error {
 		return ErrClosed
 	}
 	for idx := 0; idx < s.Shards(); idx++ {
-		if _, err := c.send(frontReq{op: fopBarrier, shard: idx}, 0, true); err != nil {
+		idx := idx
+		if _, err := c.roundTrip(func() frontReq {
+			return frontReq{op: fopBarrier, shard: idx, tenant: c.ts.name}
+		}, 0); err != nil {
 			return err
 		}
 	}

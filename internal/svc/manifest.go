@@ -24,6 +24,11 @@ type Manifest struct {
 	Shards  int              `json:"shards"`
 	Epoch   int              `json:"epoch"`
 	Tenants []ManifestTenant `json:"tenants,omitempty"`
+	// ShardStatus is the supervisor's per-shard view (state, restart
+	// count, breaker) at the time the manifest was written; offline
+	// tools render it so an operator can see which shards were
+	// struggling when the service last persisted its layout.
+	ShardStatus []ShardStatus `json:"shard_status,omitempty"`
 }
 
 // ManifestTenant is one tenant's registered admission settings.
@@ -50,6 +55,7 @@ func (s *Service) Manifest() Manifest {
 	}
 	s.adm.mu.Unlock()
 	sort.Slice(m.Tenants, func(i, j int) bool { return m.Tenants[i].Name < m.Tenants[j].Name })
+	m.ShardStatus = s.ShardStatuses()
 	return m
 }
 

@@ -26,6 +26,25 @@ import (
 //     ring ownership, so stale copies are invisible even before
 //     cleanup finishes) and close removed shards.
 //
+// SetRebalanceHook installs fn to be called at each rebalance phase
+// ("open", "warm", "fence", "delta", "flip", "cleanup"), from the
+// rebalancing process itself. The chaos sweeps use it to inject shard
+// crashes at every phase boundary; production code leaves it nil.
+func (s *Service) SetRebalanceHook(fn func(phase string)) {
+	s.mu.Lock()
+	s.phaseHook = fn
+	s.mu.Unlock()
+}
+
+func (s *Service) hook(phase string) {
+	s.mu.RLock()
+	fn := s.phaseHook
+	s.mu.RUnlock()
+	if fn != nil {
+		fn(phase)
+	}
+}
+
 // Inside the simulator Rebalance must run in a simulation process. One
 // rebalance may run at a time; concurrent calls fail with
 // ErrRebalancing.
@@ -56,6 +75,7 @@ func (s *Service) Rebalance(n int) error {
 	s.cRebalances.Inc()
 
 	// 1. Open new shards (no locks held: opening performs store I/O).
+	s.hook("open")
 	var added []*shard
 	for i := old; i < n; i++ {
 		sh, err := s.openShard(i)
@@ -73,18 +93,27 @@ func (s *Service) Rebalance(n int) error {
 	s.mu.Unlock()
 
 	// 2. Warm pass with writes flowing.
+	s.hook("warm")
 	if _, err := s.migratePass(); err != nil {
 		return s.abortRebalance(added, err)
 	}
 
-	// 3. Cutover: quiesce, then delta passes until clean.
+	// 3. Cutover: take ownership of the pause gate (a shard restart
+	// also needs it), quiesce, then delta passes until clean.
+	s.acquireCutover()
 	s.setPaused(true)
 	s.fenceWrites()
+	s.hook("fence")
+	abortCutover := func(err error) error {
+		s.setPaused(false)
+		s.releaseCutover()
+		return s.abortRebalance(added, err)
+	}
+	s.hook("delta")
 	for {
 		moved, err := s.migratePass()
 		if err != nil {
-			s.setPaused(false)
-			return s.abortRebalance(added, err)
+			return abortCutover(err)
 		}
 		if moved == 0 {
 			break
@@ -96,11 +125,11 @@ func (s *Service) Rebalance(n int) error {
 	receivers := append([]*shard(nil), s.shards...)
 	s.mu.RUnlock()
 	for _, sh := range receivers {
-		if err := sh.mgr.WriteBarrier(); err != nil {
-			s.setPaused(false)
-			return s.abortRebalance(added, err)
+		if err := s.applyBarrier(sh); err != nil {
+			return abortCutover(err)
 		}
 	}
+	s.hook("flip")
 	s.mu.Lock()
 	s.ring = s.next
 	s.next = nil
@@ -114,10 +143,12 @@ func (s *Service) Rebalance(n int) error {
 	ring := s.ring
 	s.mu.Unlock()
 	s.setPaused(false)
+	s.releaseCutover()
 	s.gShards.Set(int64(n))
 	s.gEpoch.Set(int64(s.Epoch()))
 
 	// 5. Cleanup stale source copies and retire removed shards.
+	s.hook("cleanup")
 	for _, sh := range kept {
 		if err := s.dropForeign(ring, sh); err != nil {
 			return err
@@ -125,7 +156,7 @@ func (s *Service) Rebalance(n int) error {
 	}
 	var first error
 	for _, sh := range removed {
-		if err := sh.mgr.Close(); err != nil && first == nil {
+		if err := s.closeShard(sh); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -147,9 +178,22 @@ func (s *Service) abortRebalance(added []*shard, cause error) error {
 	}
 	s.mu.Unlock()
 	for _, sh := range added {
-		sh.mgr.Close()
+		s.closeShard(sh)
 	}
 	return fmt.Errorf("svc: rebalance aborted: %w", cause)
+}
+
+// closeShard retires a shard's manager if it still has one (a crashed
+// shard may already be detached by the supervisor).
+func (s *Service) closeShard(sh *shard) error {
+	s.lock(sh)
+	mgr := sh.mgr
+	sh.mgr = nil
+	s.unlock(sh)
+	if mgr == nil {
+		return nil
+	}
+	return mgr.Close()
 }
 
 // migratePass sweeps every shard and copies keys whose target-ring
@@ -168,14 +212,19 @@ func (s *Service) migratePass() (int, error) {
 	for _, src := range shards {
 		// Collect first, then copy: mutating the destination shards
 		// while a source scan is open keeps iterator semantics simple.
+		// A crashed shard surfaces a typed ShardDownError, so the
+		// rebalance aborts cleanly and can be retried after recovery.
 		var pending []Pair
 		s.lock(src)
-		err := src.mgr.ReadBatch(nsRoot, func(k string, v []byte) bool {
-			if target.Route(k) != src.idx {
-				pending = append(pending, Pair{Key: k, Value: append([]byte(nil), v...)})
-			}
-			return true
-		})
+		err := s.shardUp(src)
+		if err == nil {
+			err = src.mgr.ReadBatch(nsRoot, func(k string, v []byte) bool {
+				if target.Route(k) != src.idx {
+					pending = append(pending, Pair{Key: k, Value: append([]byte(nil), v...)})
+				}
+				return true
+			})
+		}
 		s.unlock(src)
 		if err != nil {
 			return moved, err
@@ -183,6 +232,10 @@ func (s *Service) migratePass() (int, error) {
 		for _, pr := range pending {
 			dst := shards[target.Route(pr.Key)]
 			s.lock(dst)
+			if err := s.shardUp(dst); err != nil {
+				s.unlock(dst)
+				return moved, err
+			}
 			cur, err := dst.mgr.Get(pr.Key)
 			if err == nil && keyEqual(cur, pr.Value) {
 				s.unlock(dst)
@@ -209,19 +262,25 @@ func (s *Service) migratePass() (int, error) {
 func (s *Service) dropForeign(ring *Ring, sh *shard) error {
 	var stale []string
 	s.lock(sh)
-	err := sh.mgr.ReadBatch(nsRoot, func(k string, v []byte) bool {
-		if ring.Route(k) != sh.idx {
-			stale = append(stale, k)
-		}
-		return true
-	})
+	err := s.shardUp(sh)
+	if err == nil {
+		err = sh.mgr.ReadBatch(nsRoot, func(k string, v []byte) bool {
+			if ring.Route(k) != sh.idx {
+				stale = append(stale, k)
+			}
+			return true
+		})
+	}
 	s.unlock(sh)
 	if err != nil {
 		return err
 	}
 	for _, k := range stale {
 		s.lock(sh)
-		err := sh.mgr.Del(k)
+		err := s.shardUp(sh)
+		if err == nil {
+			err = sh.mgr.Del(k)
+		}
 		s.unlock(sh)
 		if err != nil {
 			return err

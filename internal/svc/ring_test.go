@@ -72,3 +72,62 @@ func TestRingRouteStable(t *testing.T) {
 		}
 	}
 }
+
+// TestRingSingleShard: with one shard every key routes to it — the
+// degenerate ring must not wrap into garbage.
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1)
+	for i := 0; i < 500; i++ {
+		if s := r.Route(nsKey("t", fmt.Sprintf("k%d", i))); s != 0 {
+			t.Fatalf("single-shard ring routed key to shard %d", s)
+		}
+	}
+}
+
+// TestRingZeroShards: a ring cannot route over nothing — construction
+// must panic rather than build a table that routes into thin air, and
+// the service-level entry point (Rebalance) must refuse n <= 0 with an
+// error instead of reaching that panic.
+func TestRingZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestRebalanceToZeroShards(t *testing.T) {
+	s := newLocalService(t, 2, AdmissionConfig{}, nil)
+	defer s.Close()
+	if err := s.Rebalance(0); err == nil {
+		t.Fatal("Rebalance(0) succeeded; the last shard must not be removable")
+	}
+	if err := s.Rebalance(-3); err == nil {
+		t.Fatal("Rebalance(-3) succeeded")
+	}
+	if s.Shards() != 2 {
+		t.Fatalf("failed rebalance changed the pool to %d shards", s.Shards())
+	}
+}
+
+// TestRingReAddDroppedShard: dropping a shard and re-adding it must
+// restore the exact original routing (rings are pure functions of the
+// shard count), and keys untouched by the shrink must never have moved
+// at any point in the 3 -> 2 -> 3 cycle.
+func TestRingReAddDroppedShard(t *testing.T) {
+	r3a, r2, r3b := NewRing(3), NewRing(2), NewRing(3)
+	for i := 0; i < 5000; i++ {
+		k := nsKey(fmt.Sprintf("tenant%d", i%5), fmt.Sprintf("k%05d", i))
+		before, during, after := r3a.Route(k), r2.Route(k), r3b.Route(k)
+		if before != after {
+			t.Fatalf("key %q moved (%d -> %d) across a drop/re-add cycle", k, before, after)
+		}
+		// Keys that did not live on the dropped shard stay put even
+		// while it is gone.
+		if before != 2 && during != before {
+			t.Fatalf("key %q on shard %d moved to %d when an unrelated shard was dropped",
+				k, before, during)
+		}
+	}
+}

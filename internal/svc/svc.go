@@ -37,10 +37,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lsmio/internal/core"
 	"lsmio/internal/obs"
+	"lsmio/internal/resil"
 	"lsmio/internal/sim"
 	"lsmio/internal/vfs"
 )
@@ -90,6 +92,29 @@ type Options struct {
 	// offline tools (lsmioctl stats/tenants) can find and aggregate the
 	// shard stores.
 	ManifestFS vfs.FS
+	// Supervisor configures per-shard health tracking and
+	// crash-restart (on by default; see SupervisorConfig).
+	Supervisor SupervisorConfig
+}
+
+// Shard supervisor states (also the value of the per-shard state
+// gauge: 0 up, 1 restarting, 2 down).
+const (
+	shardUp int32 = iota
+	shardRestarting
+	shardDown
+)
+
+func shardStateName(st int32) string {
+	switch st {
+	case shardUp:
+		return "up"
+	case shardRestarting:
+		return "restarting"
+	case shardDown:
+		return "down"
+	}
+	return fmt.Sprintf("state(%d)", st)
 }
 
 // shard is one slot of the pool: a Manager plus its serialization lock
@@ -100,6 +125,16 @@ type shard struct {
 	mgr *core.Manager
 	mu  sync.Mutex
 	ops *obs.Counter
+
+	// Supervisor state. state/restarts/downAt are atomics so request
+	// paths can fail fast without locks; mgr and health are swapped only
+	// under the shard lock (goroutine mode) / cooperative scheduling
+	// (simulator), with writers fenced.
+	state    atomic.Int32
+	restarts atomic.Int64
+	downAt   atomic.Int64 // reg.Now() ns at which the shard went down
+	health   *resil.Tracker
+	gState   *obs.Gauge
 }
 
 // Service is the multi-tenant sharded checkpoint service.
@@ -109,6 +144,7 @@ type Service struct {
 	open func(int) (*core.Manager, error)
 	mfs  vfs.FS
 	adm  *admission
+	sup  *supervisor
 
 	// mu guards the routing state. It is never held across a blocking
 	// store operation, so taking it from a simulation process is safe.
@@ -119,17 +155,22 @@ type Service struct {
 	epoch       int
 	closed      bool
 	rebalancing bool
+	phaseHook   func(phase string) // test hook, fired at rebalance phases
 
-	// Write fencing: pauseMu guards paused and the in-flight write
-	// count; writers wait on pauseCond (goroutine mode) or pauseSig
-	// (simulator), the rebalancer waits for inflight to drain on
-	// pauseCond / fenceSig.
+	// Write fencing: pauseMu guards paused, the in-flight write count,
+	// and cutover ownership; writers wait on pauseCond (goroutine mode)
+	// or pauseSig (simulator), the fence holder waits for inflight to
+	// drain on pauseCond / fenceSig. Both a rebalance flip and a shard
+	// restart need the pause gate, so they first take cutover ownership
+	// (gateSig / pauseCond).
 	pauseMu   sync.Mutex
 	paused    bool
+	cutover   bool
 	inflight  int
 	pauseCond *sync.Cond
 	pauseSig  *sim.Signal
 	fenceSig  *sim.Signal
+	gateSig   *sim.Signal
 
 	gShards     *obs.Gauge
 	gEpoch      *obs.Gauge
@@ -177,7 +218,9 @@ func New(opts Options) (*Service, error) {
 	if s.kern != nil {
 		s.pauseSig = sim.NewSignal(s.kern)
 		s.fenceSig = sim.NewSignal(s.kern)
+		s.gateSig = sim.NewSignal(s.kern)
 	}
+	s.sup = newSupervisor(s, opts.Supervisor)
 	for i := 0; i < n; i++ {
 		sh, err := s.openShard(i)
 		if err != nil {
@@ -192,6 +235,7 @@ func New(opts Options) (*Service, error) {
 	if err := s.writeManifest(); err != nil {
 		return nil, err
 	}
+	s.sup.start()
 	return s, nil
 }
 
@@ -200,11 +244,15 @@ func (s *Service) openShard(i int) (*shard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("svc: open shard %d: %w", i, err)
 	}
-	return &shard{
-		idx: i,
-		mgr: mgr,
-		ops: s.reg.Counter(fmt.Sprintf("svc.shard.%03d.ops", i)),
-	}, nil
+	sh := &shard{
+		idx:    i,
+		mgr:    mgr,
+		ops:    s.reg.Counter(fmt.Sprintf("svc.shard.%03d.ops", i)),
+		health: s.sup.newTracker(),
+		gState: s.reg.Gauge(fmt.Sprintf("svc.shard.%03d.state", i)),
+	}
+	sh.gState.Set(int64(shardUp))
+	return sh, nil
 }
 
 // Obs returns the service's metrics registry.
@@ -294,11 +342,13 @@ func (s *Service) enterWrites(n int) {
 }
 
 // exitWrite retires one in-flight write application, waking a pending
-// fence when the last one drains.
+// fence when the last one drains. The broadcast is not gated on paused:
+// Close fences without pausing (nothing new is admitted once closed),
+// and its fence must still wake when the last write lands.
 func (s *Service) exitWrite() {
 	s.pauseMu.Lock()
 	s.inflight--
-	drained := s.paused && s.inflight == 0
+	drained := s.inflight == 0
 	s.pauseMu.Unlock()
 	if drained {
 		if s.kern != nil {
@@ -343,6 +393,53 @@ func (s *Service) fenceWrites() {
 	for s.inflight > 0 {
 		s.pauseCond.Wait()
 	}
+	s.pauseMu.Unlock()
+}
+
+// acquireCutover takes exclusive ownership of the pause gate. A
+// rebalance flip and a shard-restart swap both need to pause and fence
+// writers; ownership serializes them so neither can resume the other's
+// pause mid-swap.
+func (s *Service) acquireCutover() {
+	if s.kern != nil {
+		p := s.kern.Current()
+		for {
+			s.pauseMu.Lock()
+			if !s.cutover {
+				s.cutover = true
+				s.pauseMu.Unlock()
+				return
+			}
+			s.pauseMu.Unlock()
+			s.gateSig.Wait(p)
+		}
+	}
+	s.pauseMu.Lock()
+	for s.cutover {
+		s.pauseCond.Wait()
+	}
+	s.cutover = true
+	s.pauseMu.Unlock()
+}
+
+func (s *Service) releaseCutover() {
+	s.pauseMu.Lock()
+	s.cutover = false
+	s.pauseMu.Unlock()
+	if s.kern != nil {
+		s.gateSig.Broadcast()
+	} else {
+		s.pauseCond.Broadcast()
+	}
+}
+
+// dupWrite registers one extra in-flight write application without
+// checking the pause gate: a fault-plan duplicated delivery re-applies
+// a write that was already admitted through enterWrites, and blocking
+// here could deadlock against a cutover that is already fencing.
+func (s *Service) dupWrite() {
+	s.pauseMu.Lock()
+	s.inflight++
 	s.pauseMu.Unlock()
 }
 
@@ -437,32 +534,92 @@ func (s *Service) unlock(sh *shard) {
 	}
 }
 
+// shardUp fails fast when sh is not serving: callers get a typed
+// retryable ShardDownError (or ErrClosed during shutdown) instead of
+// touching a dead store. Must be called with the shard lock held.
+func (s *Service) shardUp(sh *shard) error {
+	if sh.state.Load() == shardUp && sh.mgr != nil {
+		return nil
+	}
+	if s.isClosed() {
+		return ErrClosed
+	}
+	return &ShardDownError{Shard: sh.idx, State: shardStateName(sh.state.Load()), Retry: s.sup.retryHint()}
+}
+
+// observe feeds one request outcome into the shard's health breaker and
+// kicks the supervisor when the breaker trips. An op that raced a crash
+// (the shard left Up while it was in flight) is converted to the typed
+// retryable form so tenants never see the dying store's raw error.
+// Must be called with the shard lock held.
+func (s *Service) observe(sh *shard, start time.Duration, err error) error {
+	if err == nil || errors.Is(err, ErrNotFound) {
+		if sh.health != nil {
+			sh.health.ObserveOK(0, s.reg.Now()-start)
+		}
+		return err
+	}
+	if sh.state.Load() != shardUp {
+		return &ShardDownError{Shard: sh.idx, State: shardStateName(sh.state.Load()), Retry: s.sup.retryHint()}
+	}
+	if s.isClosed() {
+		return err
+	}
+	if sh.health != nil {
+		sh.health.ObserveErr(0)
+		if sh.health.State(0) != resil.Closed {
+			s.sup.kick(sh, err)
+			if sh.state.Load() != shardUp {
+				return &ShardDownError{Shard: sh.idx, State: shardStateName(sh.state.Load()), Retry: s.sup.retryHint()}
+			}
+		}
+	}
+	return err
+}
+
 func (s *Service) applyPut(sh *shard, nsk string, value []byte) error {
 	s.lock(sh)
 	defer s.unlock(sh)
+	if err := s.shardUp(sh); err != nil {
+		return err
+	}
 	sh.ops.Inc()
-	return sh.mgr.Put(nsk, value)
+	start := s.reg.Now()
+	return s.observe(sh, start, sh.mgr.Put(nsk, value))
 }
 
 func (s *Service) applyDel(sh *shard, nsk string) error {
 	s.lock(sh)
 	defer s.unlock(sh)
+	if err := s.shardUp(sh); err != nil {
+		return err
+	}
 	sh.ops.Inc()
-	return sh.mgr.Del(nsk)
+	start := s.reg.Now()
+	return s.observe(sh, start, sh.mgr.Del(nsk))
 }
 
 func (s *Service) applyGet(sh *shard, nsk string) ([]byte, error) {
 	s.lock(sh)
 	defer s.unlock(sh)
+	if err := s.shardUp(sh); err != nil {
+		return nil, err
+	}
 	sh.ops.Inc()
-	return sh.mgr.Get(nsk)
+	start := s.reg.Now()
+	v, err := sh.mgr.Get(nsk)
+	return v, s.observe(sh, start, err)
 }
 
 func (s *Service) applyBarrier(sh *shard) error {
 	s.lock(sh)
 	defer s.unlock(sh)
+	if err := s.shardUp(sh); err != nil {
+		return err
+	}
 	sh.ops.Inc()
-	return sh.mgr.WriteBarrier()
+	start := s.reg.Now()
+	return s.observe(sh, start, sh.mgr.WriteBarrier())
 }
 
 // scanShard sweeps shard i for keys under nsPrefix that the ring
@@ -470,7 +627,11 @@ func (s *Service) applyBarrier(sh *shard) error {
 func (s *Service) scanShard(r *Ring, sh *shard, nsPrefix string) ([]Pair, error) {
 	s.lock(sh)
 	defer s.unlock(sh)
+	if err := s.shardUp(sh); err != nil {
+		return nil, err
+	}
 	sh.ops.Inc()
+	start := s.reg.Now()
 	var out []Pair
 	err := sh.mgr.ReadBatch(nsPrefix, func(k string, v []byte) bool {
 		if r.Route(k) == sh.idx {
@@ -478,7 +639,7 @@ func (s *Service) scanShard(r *Ring, sh *shard, nsPrefix string) ([]Pair, error)
 		}
 		return true
 	})
-	return out, err
+	return out, s.observe(sh, start, err)
 }
 
 // Pair is one key/value from a Scan.
@@ -616,24 +777,34 @@ func (t *Tenant) Barrier() error {
 
 // ---- lifecycle --------------------------------------------------------
 
-// Close fences in-flight writes and closes every shard store. Later
-// operations return ErrClosed.
+// Close fences in-flight writes, stops the supervisor, and closes
+// every shard store. Close is idempotent — a second call is a no-op
+// returning nil — while all other post-close operations return
+// ErrClosed.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return ErrClosed
+		return nil
 	}
 	s.closed = true
 	shards := s.shards
 	s.mu.Unlock()
+	// Stop the prober and wait for goroutine-mode restart workers so a
+	// restart cannot install a fresh manager after we close the pool
+	// (simulator restart procs abort on the isClosed checks instead).
+	s.sup.stop()
 	s.fenceWrites()
 	var first error
 	for _, sh := range shards {
 		s.lock(sh)
-		err := sh.mgr.Close()
+		mgr := sh.mgr
+		sh.mgr = nil
 		s.unlock(sh)
-		if err != nil && first == nil {
+		if mgr == nil {
+			continue // crashed and not yet restarted
+		}
+		if err := mgr.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -330,6 +330,37 @@ func TestFairShareWeights(t *testing.T) {
 	}
 }
 
+// TestZeroWeightTenant: a zero (or negative) Weight means weight 1,
+// never a zero share — a misconfigured tenant must still be admitted,
+// and must not poison the shared-capacity split for everyone else.
+func TestZeroWeightTenant(t *testing.T) {
+	s := newLocalService(t, 1, AdmissionConfig{CapacityBytesPerSec: 4 << 20}, nil)
+	defer s.Close()
+	if _, err := s.RegisterTenant("zero", TenantConfig{Weight: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterTenant("neg", TenantConfig{Weight: -2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterTenant("one", TenantConfig{Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.adm.mu.Lock()
+	zero := s.adm.tenants["zero"].bytesB.rate
+	neg := s.adm.tenants["neg"].bytesB.rate
+	one := s.adm.tenants["one"].bytesB.rate
+	s.adm.mu.Unlock()
+	if zero != one || neg != one {
+		t.Fatalf("rates zero=%v neg=%v one=%v, want an even three-way split", zero, neg, one)
+	}
+	if zero <= 0 {
+		t.Fatalf("zero-weight tenant got rate %v", zero)
+	}
+	if err := s.Tenant("zero").Put("k", []byte("v")); err != nil {
+		t.Fatalf("zero-weight tenant rejected: %v", err)
+	}
+}
+
 func TestServiceClosed(t *testing.T) {
 	s := newLocalService(t, 2, AdmissionConfig{}, nil)
 	tn := s.Tenant("app")
@@ -339,14 +370,28 @@ func TestServiceClosed(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Close(); !errors.Is(err, ErrClosed) {
-		t.Fatalf("second Close = %v, want ErrClosed", err)
+	// Close is idempotent: a second call is a no-op, not an error.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
 	}
+	// Every other post-close operation reports ErrClosed.
 	if err := tn.Put("k2", []byte("v")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Put after Close = %v, want ErrClosed", err)
 	}
 	if _, err := tn.Get("k"); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+	if err := tn.Del("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Del after Close = %v, want ErrClosed", err)
+	}
+	if err := tn.Barrier(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Barrier after Close = %v, want ErrClosed", err)
+	}
+	if err := tn.Scan("", func(string, []byte) bool { return true }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Scan after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.RegisterTenant("late", TenantConfig{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RegisterTenant after Close = %v, want ErrClosed", err)
 	}
 	if err := s.Rebalance(3); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Rebalance after Close = %v, want ErrClosed", err)
