@@ -45,7 +45,11 @@ type Rule struct {
 	// From and To select the endpoints; -1 matches any node.
 	From, To int
 	// Nth is the 1-based index of the first matching transfer the rule
-	// fires on (0 behaves as 1: fire immediately).
+	// fires on (0 behaves as 1: fire immediately). At most one rule
+	// fires per transfer (the first armed match wins), and a transfer
+	// consumed by an earlier rule does not advance later rules' match
+	// counts: with overlapping rules, Nth indexes the transfers left
+	// over by the rules above this one.
 	Nth int
 	// Times is how many consecutive matches fire once armed (0 behaves
 	// as 1; negative means every match forever).

@@ -36,8 +36,11 @@ type Front struct {
 	qDepth     []*obs.Gauge
 	// lost tracks asynchronous writes a shard server accepted but lost
 	// before application (the shard crashed mid-request), per tenant.
-	// Each slot's map is owned by that slot's server process.
-	lost []map[string]int
+	// Each slot's map and sequence counter are owned by that slot's
+	// server process. lossSeq only grows, so an ack token issued for an
+	// earlier loss can never clear an entry recorded after it.
+	lost    []map[string]lossEntry
+	lossSeq []uint64
 
 	cRetries  *obs.Counter
 	cTimeouts *obs.Counter
@@ -99,7 +102,23 @@ type frontReq struct {
 	key    string // namespaced key (or scan prefix)
 	value  []byte
 	write  bool // registered via enterWrites; server must exitWrite
-	reply  *sim.Queue
+	dup    bool // fault-plan duplicated delivery of an already-sent request
+	// lossAck (barriers only) echoes the Seq of the latest WriteLossError
+	// the client observed for this shard — the two-phase ack that lets
+	// the server clear its loss ledger.
+	lossAck uint64
+	reply   *sim.Queue
+}
+
+// lossEntry is one tenant's outstanding lost-write record on a shard:
+// how many accepted-but-lost async writes, and the slot's sequence
+// number at the latest loss. The sequence is the two-phase-ack token —
+// a WriteLossError carries it, and only a barrier echoing a sequence at
+// least this new clears the entry, proving the tenant observed the
+// report even if earlier refusal replies were eaten by the fault plan.
+type lossEntry struct {
+	n   int
+	seq uint64
 }
 
 // frontRep is a reply as it would cross the wire: values, flags, and
@@ -173,6 +192,13 @@ type WriteLossError struct {
 	Shard  int
 	Tenant string
 	Lost   int
+	// Seq is the two-phase-ack token: the tenant's next barrier to this
+	// shard echoes it (Client does so automatically), proving the report
+	// was delivered before the server clears its loss ledger. Without
+	// it, a refusal reply lost to a timeout or drop would let the hedged
+	// barrier retry find an emptied ledger and falsely acknowledge the
+	// commit.
+	Seq uint64
 }
 
 func (e *WriteLossError) Error() string {
@@ -233,7 +259,8 @@ func NewFrontOpts(s *Service, fabric *netsim.Fabric, shardNodes []int, opts Fron
 		i := i
 		f.queues = append(f.queues, sim.NewQueue(s.kern, fmt.Sprintf("svc-shard%d", i)))
 		f.qDepth = append(f.qDepth, s.reg.Gauge(fmt.Sprintf("svc.shard.%03d.queue_max", i)))
-		f.lost = append(f.lost, make(map[string]int))
+		f.lost = append(f.lost, make(map[string]lossEntry))
+		f.lossSeq = append(f.lossSeq, 0)
 		s.kern.Spawn(fmt.Sprintf("svc-shard-%d", i), func(p *sim.Proc) {
 			f.serve(p, i)
 		}).SetDaemon(true)
@@ -279,10 +306,20 @@ func (f *Front) serve(p *sim.Proc, idx int) {
 				// A barrier acknowledges every earlier write on this
 				// shard — refuse it while accepted-but-lost writes are
 				// outstanding for the tenant, so the client never acks
-				// a commit the crash ate.
-				if n := f.lost[idx][req.tenant]; n > 0 {
-					delete(f.lost[idx], req.tenant)
-					err = &WriteLossError{Shard: idx, Tenant: req.tenant, Lost: n}
+				// a commit the crash ate. The ledger entry is cleared
+				// only by a barrier echoing the loss sequence (the
+				// two-phase ack): the refusal reply itself can be lost
+				// to a drop or attempt timeout, and at-least-once
+				// request delivery would then hedge-retry the barrier —
+				// a delete-on-read ledger would let that retry falsely
+				// succeed.
+				if e := f.lost[idx][req.tenant]; e.n > 0 {
+					if req.lossAck >= e.seq {
+						delete(f.lost[idx], req.tenant)
+						err = s.applyBarrier(sh)
+					} else {
+						err = &WriteLossError{Shard: idx, Tenant: req.tenant, Lost: e.n, Seq: e.seq}
+					}
 				} else {
 					err = s.applyBarrier(sh)
 				}
@@ -291,14 +328,21 @@ func (f *Front) serve(p *sim.Proc, idx int) {
 		if req.write {
 			s.exitWrite()
 		}
-		if err != nil && req.reply == nil {
+		if err != nil && req.reply == nil && !req.dup {
 			// Asynchronous writes have no reply to carry the error:
 			// record the loss against the tenant so its next Barrier
-			// fails instead of falsely acknowledging the step.
+			// fails instead of falsely acknowledging the step. A
+			// fault-plan duplicated delivery is the same logical write —
+			// only the primary delivery may record its loss, or one lost
+			// put would be ledgered (and counted) twice.
 			s.cApplyErrs.Inc()
 			f.cLost.Inc()
 			if req.tenant != "" {
-				f.lost[idx][req.tenant]++
+				f.lossSeq[idx]++
+				e := f.lost[idx][req.tenant]
+				e.n++
+				e.seq = f.lossSeq[idx]
+				f.lost[idx][req.tenant] = e
 			}
 		}
 		rep.encodeErr(err)
@@ -322,7 +366,8 @@ func (f *Front) Stop(p *sim.Proc) {
 // registering the tenant on first use.
 func (f *Front) Connect(tenant string, node int) *Client {
 	f.s.gConns.Add(1)
-	return &Client{f: f, ts: f.s.adm.tenant(tenant, nil), node: node}
+	return &Client{f: f, ts: f.s.adm.tenant(tenant, nil), node: node,
+		lossAck: make(map[int]uint64)}
 }
 
 // Client is the fabric-transport tenant client. It mirrors Tenant's
@@ -334,6 +379,11 @@ type Client struct {
 	ts     *tenantState
 	node   int
 	closed bool
+	// lossAck holds, per shard, the Seq of the latest WriteLossError
+	// this client observed: the two-phase-ack token its next barrier
+	// echoes so the server knows the loss report was delivered before
+	// clearing the ledger.
+	lossAck map[int]uint64
 }
 
 // Tenant returns the tenant name the client is bound to.
@@ -383,6 +433,11 @@ func (c *Client) admit(nBytes, nOps int) error {
 // reply lands in an abandoned one and is harmless.
 func (c *Client) sendOnce(req frontReq, payload int64, sync bool) (frontRep, error) {
 	p := c.proc()
+	// settled is written by this (client) proc and read by the attempt
+	// timer proc with no synchronization. That is safe only because
+	// NewFront requires simulator mode, where procs are cooperatively
+	// scheduled and never run concurrently; goroutine-mode reuse of this
+	// pattern would need an atomic.Bool.
 	settled := false
 	if sync {
 		req.reply = sim.NewQueue(c.f.s.kern, "svc-reply")
@@ -409,7 +464,9 @@ func (c *Client) sendOnce(req frontReq, payload int64, sync bool) (frontRep, err
 		if req.write {
 			c.f.s.dupWrite()
 		}
-		c.f.queues[req.shard].Send(req)
+		dreq := req
+		dreq.dup = true
+		c.f.queues[req.shard].Send(dreq)
 	}
 	if !sync {
 		return frontRep{}, nil
@@ -578,7 +635,10 @@ func (c *Client) Scan(prefix string, fn func(key string, value []byte) bool) err
 // Barrier flushes every shard: the tenant's commit point. A barrier
 // refused because the crash ate earlier async writes surfaces as a
 // WriteLossError — the tenant must replay the step, so the front never
-// retries it internally.
+// retries it internally. Observing the error records its Seq as the
+// ack token the next barrier carries, which is what lets the server
+// clear the loss ledger (two-phase ack: the server keeps refusing
+// until the client provably saw a report).
 func (c *Client) Barrier() error {
 	s := c.f.s
 	start := s.reg.Now()
@@ -588,8 +648,13 @@ func (c *Client) Barrier() error {
 	for idx := 0; idx < s.Shards(); idx++ {
 		idx := idx
 		if _, err := c.roundTrip(func() frontReq {
-			return frontReq{op: fopBarrier, shard: idx, tenant: c.ts.name}
+			return frontReq{op: fopBarrier, shard: idx, tenant: c.ts.name,
+				lossAck: c.lossAck[idx]}
 		}, 0); err != nil {
+			var wle *WriteLossError
+			if errors.As(err, &wle) {
+				c.lossAck[wle.Shard] = wle.Seq
+			}
 			return err
 		}
 	}

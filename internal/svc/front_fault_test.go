@@ -226,6 +226,109 @@ func TestFrontWriteLossFailsBarrier(t *testing.T) {
 	}
 }
 
+// TestFrontWriteLossSurvivesLostReply: the loss ledger is cleared by
+// two-phase ack, not on read. The first barrier's refusal reply misses
+// AttemptTimeout (the request leg is fault-delayed past it), so the
+// hedged retry re-delivers the barrier — it must be refused again with
+// the same WriteLossError, never acknowledged: a delete-on-read ledger
+// would let the retry falsely ack the commit the crash ate.
+func TestFrontWriteLossSurvivesLostReply(t *testing.T) {
+	k := sim.NewKernel()
+	k.Spawn("main", func(p *sim.Proc) {
+		s, f, plan := newFaultFront(t, k, 1, FrontOptions{
+			AttemptTimeout: time.Millisecond,
+		}, SupervisorConfig{RestartBackoff: 500 * time.Microsecond})
+		defer s.Close()
+		c := f.Connect("app", 0)
+		if err := s.CrashShard(0); err != nil {
+			t.Fatal(err)
+		}
+		// Admitted and shipped while the shard is down: the server
+		// ledgers the loss. The supervisor then restarts the shard, so a
+		// falsely-acknowledged barrier would actually succeed.
+		if err := c.Put("k", []byte("doomed")); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; s.ShardStatuses()[0].State != "up"; i++ {
+			if i > 100 {
+				t.Fatal("shard never restarted")
+			}
+			p.Sleep(time.Millisecond)
+		}
+		// Delay the first barrier's request leg past AttemptTimeout: the
+		// attempt timer (armed before the outbound transfer) wins, the
+		// refusal reply lands in the abandoned queue, and the policy
+		// hedge-retries the barrier.
+		plan.AddRule(netsim.Rule{From: 0, To: 1, Nth: 1, Times: 1,
+			Action: netsim.FaultDelay, Delay: 5 * time.Millisecond})
+		err := c.Barrier()
+		var wle *WriteLossError
+		if !errors.As(err, &wle) {
+			t.Fatalf("Barrier with lost refusal reply = %v, want WriteLossError", err)
+		}
+		if wle.Shard != 0 || wle.Lost != 1 {
+			t.Fatalf("WriteLossError = %+v", wle)
+		}
+		if got := s.reg.Counter("svc.front.attempt_timeouts").Load(); got == 0 {
+			t.Error("attempt timeout never fired; the refusal reply was not lost")
+		}
+		if got := s.reg.Counter("svc.front.retries").Load(); got == 0 {
+			t.Error("hedged retry never fired")
+		}
+		// The observed error's Seq is the ack token: after replaying the
+		// step, the re-barrier clears the ledger and commits.
+		if err := c.Put("k", []byte("v2")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Barrier(); err != nil {
+			t.Fatalf("Barrier after replay = %v", err)
+		}
+		if v, err := c.Get("k"); err != nil || string(v) != "v2" {
+			t.Fatalf("Get after replay = %q, %v", v, err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontDupAsyncLossRecordedOnce: a fault-plan duplicated async put
+// that fails server-side is one logical write — only its primary
+// delivery records the loss, so WriteLossError.Lost (and the
+// lost_writes counter) match what the tenant must actually replay.
+func TestFrontDupAsyncLossRecordedOnce(t *testing.T) {
+	k := sim.NewKernel()
+	k.Spawn("main", func(p *sim.Proc) {
+		s, f, plan := newFaultFront(t, k, 1, FrontOptions{}, SupervisorConfig{Disabled: true})
+		defer s.Close()
+		c := f.Connect("app", 0)
+		if err := s.CrashShard(0); err != nil {
+			t.Fatal(err)
+		}
+		plan.AddRule(netsim.Rule{From: -1, To: -1, Action: netsim.FaultDup, Nth: 1, Times: 1})
+		if err := c.Put("k", []byte("doomed")); err != nil {
+			t.Fatal(err)
+		}
+		err := c.Barrier()
+		var wle *WriteLossError
+		if !errors.As(err, &wle) {
+			t.Fatalf("Barrier after duplicated lost put = %v, want WriteLossError", err)
+		}
+		if wle.Lost != 1 {
+			t.Errorf("WriteLossError.Lost = %d, want 1 (dup delivery must not double-count)", wle.Lost)
+		}
+		if got := s.reg.Counter("svc.front.lost_writes").Load(); got != 1 {
+			t.Errorf("svc.front.lost_writes = %d, want 1", got)
+		}
+		if got := plan.Duplicated(); got != 1 {
+			t.Errorf("plan duplicated %d messages, want 1", got)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestFrontPostCloseErrClosed: after Service.Close every fabric-client
 // operation fails with ErrClosed — the transport must not hang on the
 // closed pool or surface an untyped error.
