@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench bench-smoke obs-smoke restore-chaos svc-smoke svc-chaos
+.PHONY: build test check race vet bench bench-smoke pipeline-smoke obs-smoke restore-chaos svc-smoke svc-chaos
 
 build:
 	$(GO) build ./...
@@ -56,12 +56,18 @@ bench-smoke:
 	$(GO) run ./cmd/lsmio-bench -fig ext-restore -scale quick -json . -q
 	$(GO) run ./cmd/lsmio-bench -fig ext-service -scale quick -json . -q
 
+# Write-path pipelining smoke: the ext-pipeline figure's shape checks
+# are the throughput gate for the table-build pipeline (≥1.3× serial
+# flush at 4 encode workers), piped compaction, and WAL group commit.
+pipeline-smoke:
+	$(GO) run ./cmd/lsmio-bench -fig ext-pipeline -scale quick -json . -q
+
 # Observability smoke: every extension figure's JSON must embed the
 # unified obs registry snapshot ("metrics") with per-op latency
 # quantiles down to p999 — the guarantee that every layer is still
 # plumbed through internal/obs.
-obs-smoke: bench-smoke
-	@for f in BENCH_ext-nvme.json BENCH_ext-burst.json BENCH_ext-degraded.json BENCH_ext-compaction.json BENCH_ext-restore.json BENCH_ext-service.json; do \
+obs-smoke: bench-smoke pipeline-smoke
+	@for f in BENCH_ext-nvme.json BENCH_ext-burst.json BENCH_ext-degraded.json BENCH_ext-compaction.json BENCH_ext-restore.json BENCH_ext-service.json BENCH_ext-pipeline.json; do \
 		grep -q '"metrics"' $$f || { echo "obs-smoke: $$f missing metrics snapshot" >&2; exit 1; }; \
 		grep -q '"p999"' $$f || { echo "obs-smoke: $$f missing latency quantiles" >&2; exit 1; }; \
 	done; echo "obs-smoke: all extension figures embed registry snapshots"

@@ -1,0 +1,402 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lsmio/internal/lsm"
+	"lsmio/internal/obs"
+	"lsmio/internal/pfs"
+	"lsmio/internal/sim"
+)
+
+// The ext-pipeline experiment measures the two write-path overlaps added
+// on top of the serial engine: the table-build pipeline (N encoder
+// workers compress/checksum blocks while one writer task owns the file)
+// and WAL group commit (one coalesced append+fsync per writer cohort).
+// Series, all stripe-4 on the simulated PFS:
+//
+//	flush-serial    one memtable flush, serial block building (Nodes=1)
+//	flush-piped     the same flush with 1, 2 and 4 encoder workers
+//	                (Nodes axis = EncodeWorkers)
+//	compact-serial  overwrite workload + full background drain at 4
+//	                background jobs, serial table writers (Nodes=4)
+//	compact-piped   the same with 4 encoder workers per table (Nodes=4)
+//	wal-solo        8 concurrent Sync writers, one fsync per write
+//	wal-grouped     8 concurrent Sync writers through group commit
+//	wal-group-size  mean cohort size (writes per fsync) of that run —
+//	                the point's BW field carries the plain ratio
+//	io-busy         fraction of the piped flush's wall time the writer
+//	                stage spent busy (BW field carries the fraction)
+//
+// The modeled encode cost (pipeEncodeCostPerMB on the virtual Compute
+// clock) is what makes the compute stage visible on the simulator; the
+// real platform pays real compression CPU instead.
+const (
+	pipeValueSize       = 4 << 10
+	pipeWALValueSize    = 1 << 10
+	pipeWALWriters      = 8
+	pipeEncodeWorkers   = 4
+	pipeEncodeCostPerMB = 6 * time.Millisecond
+)
+
+// ExtPipeline is the pipelined-table-build / WAL-group-commit extension
+// experiment.
+func ExtPipeline() Figure {
+	f := Figure{
+		ID:        "ext-pipeline",
+		Title:     "EXTENSION: pipelined table builds and WAL group commit",
+		Transfers: []int64{pipeValueSize},
+		Phase:     PhaseWrite,
+		Series: []Series{
+			{Name: "flush-serial"},
+			{Name: "flush-piped"},
+			{Name: "compact-serial"},
+			{Name: "compact-piped"},
+			{Name: "wal-solo"},
+			{Name: "wal-grouped"},
+			{Name: "wal-group-size"},
+			{Name: "io-busy"},
+		},
+		Checks: []Check{
+			{
+				Desc: "4 encode workers ≥1.3× serial flush throughput",
+				Ratio: func(fr *FigureResult) (float64, error) {
+					piped, err := fr.BW("flush-piped", pipeValueSize, 4, pipeEncodeWorkers)
+					if err != nil {
+						return 0, err
+					}
+					serial, err := fr.BW("flush-serial", pipeValueSize, 4, 1)
+					if err != nil {
+						return 0, err
+					}
+					if serial == 0 {
+						return 0, fmt.Errorf("bench: zero serial flush throughput")
+					}
+					return piped / serial, nil
+				},
+				Min: 1.3, Paper: 0,
+			},
+			{
+				Desc: "piped compaction ≥1.15× serial at 4 background jobs",
+				Ratio: func(fr *FigureResult) (float64, error) {
+					piped, err := fr.BW("compact-piped", pipeValueSize, 4, 4)
+					if err != nil {
+						return 0, err
+					}
+					serial, err := fr.BW("compact-serial", pipeValueSize, 4, 4)
+					if err != nil {
+						return 0, err
+					}
+					if serial == 0 {
+						return 0, fmt.Errorf("bench: zero serial compaction throughput")
+					}
+					return piped / serial, nil
+				},
+				Min: 1.15, Paper: 0,
+			},
+			{
+				Desc: "group commit ≥1.5× per-write fsync throughput (8 sync writers)",
+				Ratio: func(fr *FigureResult) (float64, error) {
+					grouped, err := fr.BW("wal-grouped", pipeValueSize, 4, pipeWALWriters)
+					if err != nil {
+						return 0, err
+					}
+					solo, err := fr.BW("wal-solo", pipeValueSize, 4, pipeWALWriters)
+					if err != nil {
+						return 0, err
+					}
+					if solo == 0 {
+						return 0, fmt.Errorf("bench: zero solo-sync throughput")
+					}
+					return grouped / solo, nil
+				},
+				Min: 1.5, Paper: 0,
+			},
+			{
+				Desc: "mean WAL cohort ≥2 writes per fsync",
+				Ratio: func(fr *FigureResult) (float64, error) {
+					return fr.BW("wal-group-size", pipeValueSize, 4, pipeWALWriters)
+				},
+				Min: 2, Paper: 0,
+			},
+			{
+				Desc: "I/O stage busy ≥60% of the piped flush wall time",
+				Ratio: func(fr *FigureResult) (float64, error) {
+					return fr.BW("io-busy", pipeValueSize, 4, pipeEncodeWorkers)
+				},
+				Min: 0.6, Paper: 0,
+			},
+		},
+	}
+	f.Custom = runPipelineFigure
+	return f
+}
+
+func runPipelineFigure(f Figure, scale Scale, progress func(string)) (*FigureResult, error) {
+	fr := &FigureResult{Figure: f}
+	emit := func(series string, nodes int, bw float64, note string) {
+		fr.Points = append(fr.Points, Point{
+			Series:      series,
+			Transfer:    pipeValueSize,
+			StripeCount: 4,
+			Nodes:       nodes,
+			BW:          bw,
+		})
+		if progress != nil {
+			progress(fmt.Sprintf("%s %-14s nodes=%d  %s", f.ID, series, nodes, note))
+		}
+	}
+	mbs := func(bytes int64, d time.Duration) float64 { return float64(bytes) / d.Seconds() }
+
+	// Flush: serial baseline, then the encoder-worker sweep.
+	flushBytes := scale.PerRankBytes
+	serialDur, _, snap, err := runPipelineFlush(scale, 0)
+	if err != nil {
+		return nil, fmt.Errorf("ext-pipeline flush serial: %w", err)
+	}
+	fr.addMetrics("flush-serial", snap)
+	emit("flush-serial", 1, mbs(flushBytes, serialDur),
+		fmt.Sprintf("%10v  (%9.1f MB/s)", serialDur.Round(time.Microsecond), mbs(flushBytes, serialDur)/1e6))
+	for _, workers := range []int{1, 2, pipeEncodeWorkers} {
+		dur, ioBusy, snap, err := runPipelineFlush(scale, workers)
+		if err != nil {
+			return nil, fmt.Errorf("ext-pipeline flush workers=%d: %w", workers, err)
+		}
+		fr.addMetrics(fmt.Sprintf("flush-piped-%d", workers), snap)
+		emit("flush-piped", workers, mbs(flushBytes, dur),
+			fmt.Sprintf("%10v  (%9.1f MB/s)", dur.Round(time.Microsecond), mbs(flushBytes, dur)/1e6))
+		if workers == pipeEncodeWorkers {
+			emit("io-busy", workers, ioBusy, fmt.Sprintf("write stage busy %4.1f%% of flush", 100*ioBusy))
+		}
+	}
+
+	// Compaction: serial vs piped table writers under a 4-job pool.
+	compactBytes := 4 * scale.PerRankBytes
+	for _, c := range []struct {
+		series  string
+		workers int
+	}{
+		{"compact-serial", 0},
+		{"compact-piped", pipeEncodeWorkers},
+	} {
+		dur, snap, err := runPipelineCompaction(scale, c.workers)
+		if err != nil {
+			return nil, fmt.Errorf("ext-pipeline %s: %w", c.series, err)
+		}
+		fr.addMetrics(c.series, snap)
+		emit(c.series, 4, mbs(compactBytes, dur),
+			fmt.Sprintf("%10v  (%9.1f MB/s)", dur.Round(time.Microsecond), mbs(compactBytes, dur)/1e6))
+	}
+
+	// WAL: 8 concurrent Sync writers, per-write fsync vs group commit.
+	walBytes := scale.PerRankBytes
+	soloDur, _, snap, err := runPipelineWAL(scale, false)
+	if err != nil {
+		return nil, fmt.Errorf("ext-pipeline wal solo: %w", err)
+	}
+	fr.addMetrics("wal-solo", snap)
+	emit("wal-solo", pipeWALWriters, mbs(walBytes, soloDur),
+		fmt.Sprintf("%10v  (%9.1f MB/s)", soloDur.Round(time.Microsecond), mbs(walBytes, soloDur)/1e6))
+	groupDur, meanCohort, snap, err := runPipelineWAL(scale, true)
+	if err != nil {
+		return nil, fmt.Errorf("ext-pipeline wal grouped: %w", err)
+	}
+	fr.addMetrics("wal-grouped", snap)
+	emit("wal-grouped", pipeWALWriters, mbs(walBytes, groupDur),
+		fmt.Sprintf("%10v  (%9.1f MB/s)", groupDur.Round(time.Microsecond), mbs(walBytes, groupDur)/1e6))
+	emit("wal-group-size", pipeWALWriters, meanCohort,
+		fmt.Sprintf("%5.1f writes per fsync", meanCohort))
+
+	return fr, nil
+}
+
+// pipelineFill writes a deterministic incompressible payload (xorshift),
+// so block encoding pays its full modeled cost and the device sees the
+// raw bytes.
+func pipelineFill(p []byte, seed uint64) {
+	x := seed*2862933555777941757 + 3037000493
+	for i := range p {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p[i] = byte(x)
+	}
+}
+
+// runPipelineFlush builds one memtable of scale.PerRankBytes and measures
+// a single flush on the simulated cluster, returning the flush's virtual
+// duration and the fraction of it the pipeline's writer stage was busy.
+func runPipelineFlush(scale Scale, workers int) (time.Duration, float64, obs.Snapshot, error) {
+	k := sim.NewKernel()
+	cluster := pfs.NewCluster(k, pfs.VikingConfig(1))
+	totalPuts := int(scale.PerRankBytes / pipeValueSize)
+
+	var dur time.Duration
+	var ioBusy float64
+	var snap obs.Snapshot
+	var runErr error
+	k.Spawn("pipe-flush", func(p *sim.Proc) {
+		runErr = func() error {
+			opts := lsm.DefaultOptions(cluster.Client(0))
+			opts.Platform = lsm.SimPlatform(k)
+			opts.DisableWAL = true
+			opts.DisableCompaction = true
+			opts.WriteBufferSize = int(2 * scale.PerRankBytes)
+			opts.BlockSize = 64 << 10
+			opts.BitsPerKey = 10
+			opts.EncodeWorkers = workers
+			opts.EncodeCostPerMB = pipeEncodeCostPerMB
+			db, err := lsm.Open("lsmdb", opts)
+			if err != nil {
+				return err
+			}
+			payload := make([]byte, pipeValueSize-24)
+			for i := 0; i < totalPuts; i++ {
+				pipelineFill(payload, uint64(i)+1)
+				if err := db.Put([]byte(fmt.Sprintf("key%08d", i)), payload); err != nil {
+					return err
+				}
+			}
+			start := p.Now()
+			if err := db.Flush(); err != nil {
+				return err
+			}
+			dur = p.Now().Sub(start)
+			snap = db.Obs().Snapshot()
+			if dur > 0 {
+				ioBusy = float64(snap.Counters["lsm.pipeline.write.busy_micros"]) /
+					float64(dur/time.Microsecond)
+			}
+			return db.Close()
+		}()
+	})
+	if err := k.Run(); err != nil {
+		return 0, 0, obs.Snapshot{}, err
+	}
+	return dur, ioBusy, snap, runErr
+}
+
+// runPipelineCompaction drives the overwrite workload from the
+// ext-compaction experiment at 4 background jobs and measures the whole
+// run (writes + background drain), with serial or piped table writers.
+func runPipelineCompaction(scale Scale, workers int) (time.Duration, obs.Snapshot, error) {
+	k := sim.NewKernel()
+	cluster := pfs.NewCluster(k, pfs.VikingConfig(1))
+	buf := 64 * pipeValueSize
+	totalPuts := int(4 * scale.PerRankBytes / pipeValueSize)
+	keyspace := totalPuts / 2
+
+	var total time.Duration
+	var snap obs.Snapshot
+	var runErr error
+	k.Spawn("pipe-compact", func(p *sim.Proc) {
+		runErr = func() error {
+			opts := lsm.DefaultOptions(cluster.Client(0))
+			opts.Platform = lsm.SimPlatform(k)
+			opts.AsyncFlush = true
+			opts.MaxBackgroundJobs = 4
+			opts.MaxImmutableMemtables = 4
+			opts.WriteBufferSize = buf
+			opts.L0CompactionTrigger = 4
+			opts.BaseLevelSize = int64(4 * buf)
+			opts.LevelSizeMultiplier = 4
+			opts.BitsPerKey = 0
+			opts.DisableCompression = true
+			opts.L0SlowdownTrigger = 6
+			opts.SlowdownDelay = 2 * time.Millisecond
+			opts.SoftPendingCompactionBytes = int64(16 * buf)
+			opts.L0StopTrigger = 12
+			opts.EncodeWorkers = workers
+			opts.EncodeCostPerMB = pipeEncodeCostPerMB
+			db, err := lsm.Open("lsmdb", opts)
+			if err != nil {
+				return err
+			}
+			payload := make([]byte, pipeValueSize-24)
+			pipelineFill(payload, 42)
+			for i := 0; i < totalPuts; i++ {
+				key := fmt.Sprintf("key%08d", i%keyspace)
+				if err := db.Put([]byte(key), payload); err != nil {
+					return err
+				}
+			}
+			if err := db.Flush(); err != nil {
+				return err
+			}
+			if err := db.WaitBackground(); err != nil {
+				return err
+			}
+			total = p.Now().Duration()
+			snap = db.Obs().Snapshot()
+			return db.Close()
+		}()
+	})
+	if err := k.Run(); err != nil {
+		return 0, obs.Snapshot{}, err
+	}
+	return total, snap, runErr
+}
+
+// runPipelineWAL runs 8 concurrent Sync writers against one store and
+// measures the virtual time until the last write is acknowledged,
+// returning also the mean cohort size (writes per fsync).
+func runPipelineWAL(scale Scale, grouped bool) (time.Duration, float64, obs.Snapshot, error) {
+	k := sim.NewKernel()
+	cluster := pfs.NewCluster(k, pfs.VikingConfig(1))
+	totalPuts := int(scale.PerRankBytes / pipeWALValueSize)
+	perWriter := totalPuts / pipeWALWriters
+
+	var total time.Duration
+	var meanCohort float64
+	var snap obs.Snapshot
+	var runErr error
+	k.Spawn("wal-setup", func(p *sim.Proc) {
+		opts := lsm.DefaultOptions(cluster.Client(0))
+		opts.Platform = lsm.SimPlatform(k)
+		opts.Sync = true
+		opts.DisableWALGroupCommit = !grouped
+		opts.DisableCompaction = true
+		opts.DisableCompression = true
+		opts.BitsPerKey = 0
+		opts.WriteBufferSize = int(4 * scale.PerRankBytes)
+		db, err := lsm.Open("lsmdb", opts)
+		if err != nil {
+			runErr = err
+			return
+		}
+		finished := 0
+		for w := 0; w < pipeWALWriters; w++ {
+			w := w
+			k.Spawn(fmt.Sprintf("wal-writer%d", w), func(p *sim.Proc) {
+				payload := make([]byte, pipeWALValueSize-32)
+				pipelineFill(payload, uint64(w)+7)
+				for i := 0; i < perWriter; i++ {
+					key := fmt.Sprintf("w%02dk%06d", w, i)
+					if err := db.Put([]byte(key), payload); err != nil {
+						if runErr == nil {
+							runErr = fmt.Errorf("writer %d: %w", w, err)
+						}
+						break
+					}
+				}
+				finished++
+				if finished == pipeWALWriters {
+					total = p.Now().Duration()
+					stats := db.Stats()
+					if stats.WALSyncs > 0 {
+						meanCohort = float64(stats.Puts) / float64(stats.WALSyncs)
+					}
+					snap = db.Obs().Snapshot()
+					if err := db.Close(); err != nil && runErr == nil {
+						runErr = err
+					}
+				}
+			})
+		}
+	})
+	if err := k.Run(); err != nil {
+		return 0, 0, obs.Snapshot{}, err
+	}
+	return total, meanCohort, snap, runErr
+}

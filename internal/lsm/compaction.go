@@ -467,18 +467,54 @@ func (db *DB) mergeTables(inputs []*fileMeta, shard shardRange, dropTombstones b
 	var w *tableWriter
 	var outFile interface{ Close() error }
 	var outName string
+	// pendings are sealed outputs whose tail write + fsync may still be in
+	// flight (pipelined builds): the merge keeps encoding the next table
+	// while the previous one syncs, and collects results in file order.
+	type pendingOut struct {
+		pt   *pendingTable
+		f    interface{ Close() error }
+		name string
+	}
+	var pendings []pendingOut
 	defer func() {
 		if cerr := merge.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 		if err != nil {
 			if w != nil {
+				// A pipelined build may still have tasks running against the
+				// output file; drain them before closing and deleting it.
+				w.abort()
 				outFile.Close()
 				db.fs.Remove(outName)
+			}
+			for _, po := range pendings {
+				po.pt.wait()
+				po.f.Close()
+				db.fs.Remove(po.name)
 			}
 			metas = nil
 		}
 	}()
+
+	// collectOldest resolves the oldest pending output: wait for its sync,
+	// close it, and append its metadata (or clean up on failure).
+	collectOldest := func() error {
+		po := pendings[0]
+		pendings = pendings[1:]
+		meta, werr := po.pt.wait()
+		if werr != nil {
+			po.f.Close()
+			db.fs.Remove(po.name)
+			return werr
+		}
+		if cerr := po.f.Close(); cerr != nil {
+			db.fs.Remove(po.name)
+			return cerr
+		}
+		metas = append(metas, meta)
+		return nil
+	}
 
 	var lastUser []byte
 	haveLast := false
@@ -491,17 +527,16 @@ func (db *DB) mergeTables(inputs []*fileMeta, shard shardRange, dropTombstones b
 		if w == nil {
 			return nil
 		}
-		meta, err := w.finish()
-		if err != nil {
-			return err
-		}
-		if err := outFile.Close(); err != nil {
-			w = nil // already closed; don't double-close in the deferred cleanup
-			db.fs.Remove(outName)
-			return err
-		}
-		metas = append(metas, meta)
+		pendings = append(pendings, pendingOut{pt: w.finishAsync(), f: outFile, name: outName})
 		w = nil
+		// Let exactly one sealed output's fsync overlap the next table's
+		// encoding; beyond that, collect in order (bounds open files and
+		// memory, and in serial mode degenerates to the old inline finish).
+		for len(pendings) > 1 {
+			if err := collectOldest(); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 
@@ -540,11 +575,11 @@ func (db *DB) mergeTables(inputs []*fileMeta, shard shardRange, dropTombstones b
 			if ferr != nil {
 				return nil, ferr
 			}
-			w = newTableWriter(f, &db.opts, num)
+			w = newTableWriter(f, &db.opts, num, &db.m)
 			outFile, outName = f, name
 		}
 		w.add(ik, merge.Value())
-		if w.offset >= target {
+		if w.estimatedSize() >= target {
 			if err := finishOutput(); err != nil {
 				return nil, err
 			}
@@ -552,6 +587,11 @@ func (db *DB) mergeTables(inputs []*fileMeta, shard shardRange, dropTombstones b
 	}
 	if err := finishOutput(); err != nil {
 		return nil, err
+	}
+	for len(pendings) > 0 {
+		if err := collectOldest(); err != nil {
+			return nil, err
+		}
 	}
 	return metas, nil
 }

@@ -427,7 +427,7 @@ func TestSSTableWriteRead(t *testing.T) {
 				opts.Compression = CompressionFlate
 			}
 			f, _ := fs.Create("t.sst")
-			w := newTableWriter(f, &opts, 1)
+			w := newTableWriter(f, &opts, 1, nil)
 			const n = 3000
 			for i := 0; i < n; i++ {
 				ik := makeIKey([]byte(fmt.Sprintf("key-%06d", i)), seqNum(i+1), kindValue)
@@ -489,7 +489,7 @@ func TestSSTableSeek(t *testing.T) {
 	fs := vfs.NewMemFS()
 	opts := DefaultOptions(fs)
 	f, _ := fs.Create("t.sst")
-	w := newTableWriter(f, &opts, 1)
+	w := newTableWriter(f, &opts, 1, nil)
 	for i := 0; i < 1000; i += 2 {
 		w.add(makeIKey([]byte(fmt.Sprintf("k%06d", i)), 1, kindValue), []byte("v"))
 	}
@@ -518,7 +518,7 @@ func TestSSTableDetectsCorruption(t *testing.T) {
 	opts := DefaultOptions(fs)
 	opts.DisableCompression = true
 	f, _ := fs.Create("t.sst")
-	w := newTableWriter(f, &opts, 1)
+	w := newTableWriter(f, &opts, 1, nil)
 	for i := 0; i < 500; i++ {
 		w.add(makeIKey([]byte(fmt.Sprintf("k%06d", i)), 1, kindValue), bytes.Repeat([]byte("v"), 50))
 	}

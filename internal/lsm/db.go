@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -41,6 +42,11 @@ type Stats struct {
 	BytesFlushed   int64
 	BytesCompacted int64
 	WALBytes       int64
+	// WALSyncs counts physical log fsyncs; WALGroupCommits counts
+	// group-commit leader rounds. With Options.Sync set, syncs well below
+	// the write count is the group-commit amortization at work.
+	WALSyncs        int64
+	WALGroupCommits int64
 	// StallWaits counts hard write-stall EPISODES: contiguous periods a
 	// writer spent blocked on the flush backlog or the L0 stop trigger.
 	// (It used to count condvar wakeups, which inflated one episode by
@@ -96,6 +102,13 @@ type DB struct {
 	manualCompaction    bool
 	closed              bool
 	bgErr               error
+	// writeQ is the group-commit writer queue: Apply callers enqueue and
+	// the head ("leader") commits a whole cohort with one coalesced WAL
+	// append + sync, releasing the lock for the I/O. logging marks a
+	// leader's WAL I/O in flight; memtable/WAL rotation and Close fence
+	// on it.
+	writeQ  []*pendingWrite
+	logging bool
 	// reg is the obs registry backing every engine counter; m caches the
 	// instrument handles so hot paths never hash instrument names.
 	reg *obs.Registry
@@ -281,7 +294,22 @@ func (db *DB) Delete(key []byte) error {
 	return db.Apply(b)
 }
 
+// pendingWrite is one Apply call queued on the group-commit writer queue.
+type pendingWrite struct {
+	b    *Batch
+	done bool
+	err  error
+}
+
 // Apply atomically applies a batch of writes.
+//
+// Writes go through a LevelDB-style writer queue: each caller enqueues
+// its batch and waits until either a leader has committed it (a cohort
+// fan-out) or it has reached the head of the queue, at which point it
+// leads a cohort of its own — one coalesced WAL append and (with
+// Options.Sync) one fsync covering every batch in the cohort, performed
+// with the DB lock released so concurrent readers and background work
+// keep moving.
 func (db *DB) Apply(b *Batch) error {
 	if b.Count() == 0 {
 		return nil
@@ -291,34 +319,144 @@ func (db *DB) Apply(b *Batch) error {
 	if db.closed {
 		return ErrClosed
 	}
+	w := &pendingWrite{b: b}
+	db.writeQ = append(db.writeQ, w)
+	for !w.done && db.writeQ[0] != w {
+		db.plat.WaitCond()
+	}
+	if !w.done {
+		db.commitCohortLocked()
+	}
+	return w.err
+}
+
+// commitCohortLocked runs one group-commit round with the queue head as
+// leader. Called with the lock held by the head writer.
+func (db *DB) commitCohortLocked() {
 	if err := db.makeRoomForWrite(); err != nil {
-		return err
+		db.finishCohortLocked(db.writeQ[:1], err)
+		return
 	}
-	seq := db.vs.lastSeq + 1
-	db.vs.lastSeq += seqNum(b.Count())
-	b.setSeq(seq)
-	if !db.opts.DisableWAL {
-		if err := db.wal.addRecord(b.data); err != nil {
-			return err
-		}
-		db.m.walBytes.Add(int64(len(b.data)))
-		if db.opts.Sync {
-			if err := db.wal.sync(); err != nil {
-				return err
+	// Build the cohort: the leader plus writers queued behind it, up to
+	// the group byte cap. makeRoomForWrite may have released the lock
+	// (slowdown, stall, inline flush), so the queue can be longer now
+	// than when this leader was elected — that is the point: the longer
+	// the WAL I/O ahead of us took, the more writes one sync amortizes.
+	cohort := db.writeQ[:1]
+	if !db.opts.DisableWALGroupCommit {
+		groupBytes := cohort[0].b.Size()
+		for _, f := range db.writeQ[len(cohort):] {
+			if groupBytes+f.b.Size() > db.opts.MaxWriteGroupBytes {
+				break
 			}
+			groupBytes += f.b.Size()
+			cohort = db.writeQ[:len(cohort)+1]
 		}
 	}
-	err := b.forEach(func(seq seqNum, kind keyKind, key, value []byte) error {
-		db.mem.add(seq, kind, key, append([]byte(nil), value...))
-		switch kind {
-		case kindValue:
-			db.m.puts.Inc()
-		case kindDelete:
-			db.m.deletes.Inc()
+	// Stamp contiguous sequence numbers WITHOUT publishing vs.lastSeq:
+	// readers must not observe sequences whose entries are not in the
+	// memtable yet, and a failed WAL write must leave no sequence gap
+	// for later successful writes to sit above.
+	seq := db.vs.lastSeq + 1
+	total := 0
+	for _, pw := range cohort {
+		pw.b.setSeq(seq + seqNum(total))
+		total += pw.b.Count()
+	}
+	if !db.opts.DisableWAL {
+		rec := encodeGroupRecord(cohort)
+		wal := db.wal
+		startOff := wal.tell()
+		db.logging = true
+		db.plat.Unlock()
+		werr := wal.addRecord(rec)
+		if werr == nil && db.opts.Sync {
+			db.m.walSyncs.Inc()
+			werr = wal.sync()
 		}
-		return nil
-	})
-	return err
+		db.plat.Lock()
+		db.logging = false
+		db.plat.Signal()
+		if werr != nil {
+			// Poison the DB: the record may be fully buffered even though
+			// the caller saw an error (fsync failed after a complete
+			// append), so accepting further writes would let a later sync
+			// make the failed cohort durable — WAL replay would then
+			// resurrect writes their callers were told failed. Best
+			// effort, the suspect tail is also truncated away; lastSeq
+			// was never advanced, so there is no sequence gap either.
+			db.wal.rollback(startOff)
+			db.bgErr = fmt.Errorf("lsm: wal append: %w", werr)
+			db.finishCohortLocked(cohort, werr)
+			return
+		}
+		db.m.walBytes.Add(int64(len(rec)))
+		db.m.walGroupCommits.Inc()
+		db.m.walGroupSize.Observe(int64(len(cohort)))
+	}
+	var applyErr error
+	for _, pw := range cohort {
+		err := pw.b.forEach(func(seq seqNum, kind keyKind, key, value []byte) error {
+			db.mem.add(seq, kind, key, append([]byte(nil), value...))
+			switch kind {
+			case kindValue:
+				db.m.puts.Inc()
+			case kindDelete:
+				db.m.deletes.Inc()
+			}
+			return nil
+		})
+		if err != nil && applyErr == nil {
+			applyErr = err
+		}
+	}
+	if applyErr != nil {
+		// A batch failed to decode after its record was logged: the
+		// engine cannot tell which entries took effect, so stop the
+		// world rather than guess. lastSeq stays unpublished — the
+		// partial inserts sit above it and remain invisible.
+		db.bgErr = applyErr
+		db.finishCohortLocked(cohort, applyErr)
+		return
+	}
+	db.vs.lastSeq += seqNum(total)
+	db.finishCohortLocked(cohort, nil)
+}
+
+// finishCohortLocked pops the cohort off the writer queue and fans the
+// outcome out to every member; the new queue head (if any) is woken to
+// lead the next cohort.
+func (db *DB) finishCohortLocked(cohort []*pendingWrite, err error) {
+	for _, pw := range cohort {
+		pw.done = true
+		pw.err = err
+	}
+	db.writeQ = db.writeQ[len(cohort):]
+	db.plat.Signal()
+}
+
+// encodeGroupRecord coalesces a cohort's batches into one WAL record:
+// the first batch's header rewritten to span the whole cohort (starting
+// sequence + total count — the batches were stamped contiguously),
+// followed by every batch's entry bytes. A cohort of one logs its batch
+// verbatim, byte-identical to the pre-group-commit format.
+func encodeGroupRecord(cohort []*pendingWrite) []byte {
+	if len(cohort) == 1 {
+		return cohort[0].b.data
+	}
+	total := 0
+	size := batchHeaderLen
+	for _, pw := range cohort {
+		total += pw.b.Count()
+		size += len(pw.b.data) - batchHeaderLen
+	}
+	rec := make([]byte, 0, size)
+	rec = append(rec, cohort[0].b.data[:batchHeaderLen]...)
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(total))
+	for _, pw := range cohort {
+		rec = append(rec, pw.b.data[batchHeaderLen:]...)
+	}
+	return rec
 }
 
 // makeRoomForWrite rotates a full memtable, admission-controlling the
@@ -426,6 +564,15 @@ func (db *DB) writerMustStopLocked() bool {
 // rotateMemtable moves the active memtable to the immutable queue and
 // starts a fresh WAL. Called with the lock held.
 func (db *DB) rotateMemtable() error {
+	// A group-commit leader may be appending to the current WAL with the
+	// lock released. Rotating underneath it would split the cohort: its
+	// record would sit in the old log while its memtable inserts (which
+	// happen after the leader relocks) land in the new memtable — a
+	// flush of that memtable then advances the manifest's log number
+	// past the record, and a crash would silently lose acked writes.
+	for db.logging {
+		db.plat.WaitCond()
+	}
 	db.imm = append(db.imm, db.mem)
 	db.mem = newMemtable()
 	return db.newWAL()
@@ -527,7 +674,7 @@ func (db *DB) buildTable(m *memtable, num uint64) (tableMeta, error) {
 	if err != nil {
 		return tableMeta{}, err
 	}
-	w := newTableWriter(f, &db.opts, num)
+	w := newTableWriter(f, &db.opts, num, &db.m)
 	it := m.iterator()
 	for it.SeekToFirst(); it.Valid(); it.Next() {
 		w.add(it.IKey(), it.Value())
@@ -535,9 +682,11 @@ func (db *DB) buildTable(m *memtable, num uint64) (tableMeta, error) {
 	meta, err := w.finish()
 	if err != nil {
 		f.Close()
+		db.fs.Remove(tableFileName(db.dir, num))
 		return tableMeta{}, err
 	}
 	if err := f.Close(); err != nil {
+		db.fs.Remove(tableFileName(db.dir, num))
 		return tableMeta{}, err
 	}
 	return meta, nil
@@ -831,21 +980,23 @@ func (db *DB) NewRangeIterator(start, limit []byte) (*Iterator, error) {
 func (db *DB) Stats() Stats {
 	m := &db.m
 	return Stats{
-		Puts:           m.puts.Load(),
-		Deletes:        m.deletes.Load(),
-		Gets:           m.gets.Load(),
-		Flushes:        m.flushes.Load(),
-		Compactions:    m.compactions.Load(),
-		BytesFlushed:   m.bytesFlushed.Load(),
-		BytesCompacted: m.bytesCompacted.Load(),
-		WALBytes:       m.walBytes.Load(),
-		StallWaits:     m.stallWaits.Load(),
-		StallMicros:    m.stallUS.Load(),
-		SlowdownWaits:  m.slowdownWaits.Load(),
-		SlowdownMicros: m.slowdownUS.Load(),
-		Subcompactions: m.subcompactions.Load(),
-		CacheHits:      m.cacheHits.Load(),
-		CacheMisses:    m.cacheMisses.Load(),
+		Puts:            m.puts.Load(),
+		Deletes:         m.deletes.Load(),
+		Gets:            m.gets.Load(),
+		Flushes:         m.flushes.Load(),
+		Compactions:     m.compactions.Load(),
+		BytesFlushed:    m.bytesFlushed.Load(),
+		BytesCompacted:  m.bytesCompacted.Load(),
+		WALBytes:        m.walBytes.Load(),
+		WALSyncs:        m.walSyncs.Load(),
+		WALGroupCommits: m.walGroupCommits.Load(),
+		StallWaits:      m.stallWaits.Load(),
+		StallMicros:     m.stallUS.Load(),
+		SlowdownWaits:   m.slowdownWaits.Load(),
+		SlowdownMicros:  m.slowdownUS.Load(),
+		Subcompactions:  m.subcompactions.Load(),
+		CacheHits:       m.cacheHits.Load(),
+		CacheMisses:     m.cacheMisses.Load(),
 	}
 }
 
@@ -879,7 +1030,8 @@ func (db *DB) Close() error {
 		db.plat.Unlock()
 		return ErrClosed
 	}
-	for db.flushing || db.compactionsInFlight > 0 || db.manualCompaction {
+	for db.flushing || db.compactionsInFlight > 0 || db.manualCompaction ||
+		db.logging || len(db.writeQ) > 0 {
 		db.plat.WaitCond()
 	}
 	db.closed = true

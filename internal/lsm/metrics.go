@@ -23,6 +23,23 @@ type dbMetrics struct {
 	compactionDur  *obs.Histogram
 
 	walBytes *obs.Counter
+	// Group-commit telemetry: syncs counts physical WAL fsyncs,
+	// groupCommits counts leader rounds, and groupSize is the cohort size
+	// distribution (writes coalesced per leader append).
+	walSyncs        *obs.Counter
+	walGroupCommits *obs.Counter
+	walGroupSize    *obs.Histogram
+
+	// Table-build pipeline stage occupancy. Queue depth is sampled at
+	// every job submit; the busy counters accumulate microseconds each
+	// stage spent doing work (vs waiting), which is how the ext-pipeline
+	// figure proves the I/O stage stays saturated.
+	pipeBlocks       *obs.Counter
+	pipeQueueDepth   *obs.Histogram
+	pipeEncodeBusyUS *obs.Counter
+	pipeEncodeDur    *obs.Histogram
+	pipeWriteBusyUS  *obs.Counter
+	pipeWriteDur     *obs.Histogram
 
 	stallWaits *obs.Counter
 	stallUS    *obs.Counter
@@ -37,6 +54,11 @@ type dbMetrics struct {
 
 	trace *obs.Trace
 }
+
+// discardMetrics backs standalone tableWriters (repair, direct test
+// construction) that have no engine registry: observations land in a
+// private registry nobody snapshots.
+var discardMetrics = newDBMetrics(obs.NewRegistry())
 
 func newDBMetrics(reg *obs.Registry) dbMetrics {
 	s := reg.Scope("lsm")
@@ -54,7 +76,17 @@ func newDBMetrics(reg *obs.Registry) dbMetrics {
 		subcompactions: s.Counter("compaction.subcompactions"),
 		compactionDur:  s.Histogram("compaction.duration"),
 
-		walBytes: s.Counter("wal.bytes"),
+		walBytes:        s.Counter("wal.bytes"),
+		walSyncs:        s.Counter("wal.syncs"),
+		walGroupCommits: s.Counter("wal.group_commits"),
+		walGroupSize:    s.Histogram("wal.group_size"),
+
+		pipeBlocks:       s.Counter("pipeline.blocks"),
+		pipeQueueDepth:   s.Histogram("pipeline.queue_depth"),
+		pipeEncodeBusyUS: s.Counter("pipeline.encode.busy_micros"),
+		pipeEncodeDur:    s.Histogram("pipeline.encode.duration"),
+		pipeWriteBusyUS:  s.Counter("pipeline.write.busy_micros"),
+		pipeWriteDur:     s.Histogram("pipeline.write.duration"),
 
 		stallWaits: s.Counter("stall.episodes"),
 		stallUS:    s.Counter("stall.micros"),

@@ -114,6 +114,35 @@ type Options struct {
 	// knob only matters for the general-workload/ablation paths.
 	MaxBackgroundJobs int
 
+	// EncodeWorkers splits every table build (flush and compaction output)
+	// into a compute stage and an I/O stage: that many encoder tasks
+	// compress and checksum data blocks (and build the bloom filter) out
+	// of order, feeding one sequential writer task that owns the file
+	// offset and index construction. 0 (the default) keeps the fully
+	// serial writer; the output bytes are identical either way.
+	EncodeWorkers int
+	// EncodeQueueDepth bounds the encoder job queue per table (back
+	// pressure between the producer and the compute stage). 0 picks the
+	// default (2x EncodeWorkers).
+	EncodeQueueDepth int
+	// EncodeCostPerMB charges the platform's Compute clock for block
+	// encoding (compression + CRC + bloom hashing), per MiB of raw block
+	// bytes. On the real platform Compute is a no-op, so this only shapes
+	// the simulated benchmarks, where CPU time is otherwise free and
+	// pipelining would show no benefit. 0 (the default) charges nothing,
+	// preserving every previously calibrated figure.
+	EncodeCostPerMB time.Duration
+
+	// MaxWriteGroupBytes caps the coalesced record a group-commit leader
+	// writes for a cohort of concurrent Apply callers (LevelDB's
+	// max_write_batch_group). 0 picks the default (1 MiB).
+	MaxWriteGroupBytes int
+	// DisableWALGroupCommit pins every cohort to a single writer: each
+	// Apply performs its own WAL append+sync. The writer queue (and its
+	// ordering guarantees) stays in place; only the coalescing is off.
+	// Exists for the ext-pipeline A/B and for bisection.
+	DisableWALGroupCommit bool
+
 	// The write path has two admission-control tiers in front of the hard
 	// stall (the MaxImmutableMemtables backlog wait). Both only engage
 	// when compaction is enabled — with compaction off nothing would ever
@@ -207,6 +236,15 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.MaxBackgroundJobs <= 0 {
 		out.MaxBackgroundJobs = 1
+	}
+	if out.EncodeWorkers < 0 {
+		out.EncodeWorkers = 0
+	}
+	if out.EncodeQueueDepth <= 0 {
+		out.EncodeQueueDepth = 2 * out.EncodeWorkers
+	}
+	if out.MaxWriteGroupBytes <= 0 {
+		out.MaxWriteGroupBytes = 1 << 20
 	}
 	if out.L0SlowdownTrigger == 0 {
 		out.L0SlowdownTrigger = 8

@@ -39,6 +39,23 @@ type Platform interface {
 	// WITHOUT the engine lock held; the write path uses it for slowdown
 	// rate-limiting ahead of the hard stall.
 	Sleep(d time.Duration)
+	// NewCond returns a fresh lock + condition pair independent of the
+	// database-wide lock. The table-build pipeline uses one per output
+	// table so encoder/writer handoff never contends with (or deadlocks
+	// against) the engine lock.
+	NewCond() Cond
+}
+
+// Cond is an auxiliary mutual-exclusion lock with an attached condition
+// variable (sync.Cond semantics: Wait atomically releases the lock,
+// blocks until Broadcast, and reacquires it). Instances are independent
+// of the Platform's engine lock; the pipeline's ordering rule is that a
+// task never acquires the engine lock while holding a Cond.
+type Cond interface {
+	Lock()
+	Unlock()
+	Wait()
+	Broadcast()
 }
 
 // goPlatform is the production Platform: goroutines and sync primitives.
@@ -64,6 +81,23 @@ func (p *goPlatform) Signal()                   { p.cond.Broadcast() }
 func (p *goPlatform) Compute(time.Duration)     {}
 func (p *goPlatform) Now() time.Duration        { return time.Since(p.start) }
 func (p *goPlatform) Sleep(d time.Duration)     { time.Sleep(d) }
+
+func (p *goPlatform) NewCond() Cond {
+	c := &goCond{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// goCond is the production Cond: a plain mutex + condition variable.
+type goCond struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (c *goCond) Lock()      { c.mu.Lock() }
+func (c *goCond) Unlock()    { c.mu.Unlock() }
+func (c *goCond) Wait()      { c.cond.Wait() }
+func (c *goCond) Broadcast() { c.cond.Broadcast() }
 
 // simPlatform runs the engine inside a discrete-event simulation: background
 // tasks are simulation processes, the lock is a cooperative mutex, and
@@ -131,6 +165,52 @@ func (p *simPlatform) Compute(d time.Duration) {
 	}
 	p.cur().Sleep(d)
 }
+
+func (p *simPlatform) NewCond() Cond {
+	return &simCond{p: p, lockW: sim.NewSignal(p.k), cond: sim.NewSignal(p.k)}
+}
+
+// simCond mirrors the simPlatform's cooperative mutex + signal pair for
+// an independent lock domain. All methods must be called from simulation
+// processes of the same kernel.
+type simCond struct {
+	p      *simPlatform
+	locked bool
+	lockW  *sim.Signal
+	cond   *sim.Signal
+}
+
+func (c *simCond) Lock() {
+	cur := c.p.cur()
+	for c.locked {
+		c.lockW.Wait(cur)
+	}
+	c.locked = true
+}
+
+func (c *simCond) Unlock() {
+	if !c.locked {
+		panic("lsm: unlock of unlocked sim cond")
+	}
+	c.locked = false
+	c.lockW.Broadcast()
+}
+
+func (c *simCond) Wait() {
+	cur := c.p.cur()
+	if !c.locked {
+		panic("lsm: wait on unlocked sim cond")
+	}
+	c.locked = false
+	c.lockW.Broadcast()
+	c.cond.Wait(cur)
+	for c.locked {
+		c.lockW.Wait(cur)
+	}
+	c.locked = true
+}
+
+func (c *simCond) Broadcast() { c.cond.Broadcast() }
 
 func (p *simPlatform) Now() time.Duration { return p.k.Now().Duration() }
 

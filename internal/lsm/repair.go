@@ -111,7 +111,7 @@ func Repair(dir string, opts Options) (RepairSummary, error) {
 		if err != nil {
 			return sum, err
 		}
-		w := newTableWriter(f, &o, num)
+		w := newTableWriter(f, &o, num, nil)
 		it := mem.iterator()
 		for it.SeekToFirst(); it.Valid(); it.Next() {
 			w.add(it.IKey(), it.Value())

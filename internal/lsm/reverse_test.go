@@ -76,7 +76,7 @@ func TestTableIteratorBackward(t *testing.T) {
 	opts := DefaultOptions(fs)
 	opts.BlockSize = 256 // many small blocks
 	f, _ := fs.Create("t.sst")
-	w := newTableWriter(f, &opts, 1)
+	w := newTableWriter(f, &opts, 1, nil)
 	const n = 500
 	for i := 0; i < n; i++ {
 		w.add(makeIKey([]byte(fmt.Sprintf("k%05d", i)), 1, kindValue), []byte("v"))

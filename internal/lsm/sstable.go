@@ -67,28 +67,40 @@ type tableMeta struct {
 }
 
 // tableWriter builds a table by streaming sorted internal entries.
+//
+// With Options.EncodeWorkers > 0 the build runs as a two-stage pipeline
+// (see pipeline.go): the producer side (add, finishDataBlock, finishAsync)
+// owns dataBlock, userKeys, lastIKey, approxSize and err; the pipeline's
+// writer task owns f, buf, offset, index and meta.size. In serial mode
+// (pipe == nil) one caller owns everything, exactly as before.
 type tableWriter struct {
 	f    vfs.File
 	opts *Options
+	m    *dbMetrics
 
-	buf       bytes.Buffer // pending bytes when coalescing writes
-	coalesce  int          // flush granularity for buf; 0 = write-through
-	offset    int64
-	dataBlock *blockBuilder
-	index     *blockBuilder
-	userKeys  [][]byte // for the bloom filter
-	meta      tableMeta
-	lastIKey  internalKey
-	err       error
+	buf        bytes.Buffer // pending bytes when coalescing writes
+	coalesce   int          // flush granularity for buf; 0 = write-through
+	offset     int64
+	dataBlock  *blockBuilder
+	index      *blockBuilder
+	userKeys   [][]byte // for the bloom filter
+	meta       tableMeta
+	lastIKey   internalKey
+	err        error
+	pipe       *tablePipeline
+	approxSize int64 // producer-side size estimate (piped mode)
 }
 
 // newTableWriter starts a table on f. With UseMMap the writer models
 // mmap-style I/O by coalescing block writes into large segments (one
 // write per ~1 MB region); otherwise each block is written as produced.
-func newTableWriter(f vfs.File, opts *Options, fileNum uint64) *tableWriter {
+// m may be nil (standalone/repair use); EncodeWorkers > 0 starts the
+// two-stage build pipeline.
+func newTableWriter(f vfs.File, opts *Options, fileNum uint64, m *dbMetrics) *tableWriter {
 	w := &tableWriter{
 		f:         f,
 		opts:      opts,
+		m:         m,
 		dataBlock: newBlockBuilder(opts.BlockRestartInterval),
 		index:     newBlockBuilder(1),
 	}
@@ -96,28 +108,52 @@ func newTableWriter(f vfs.File, opts *Options, fileNum uint64) *tableWriter {
 	if opts.UseMMap {
 		w.coalesce = 1 << 20
 	}
+	if w.m == nil {
+		w.m = &discardMetrics
+	}
+	if opts.EncodeWorkers > 0 && opts.Platform != nil {
+		w.pipe = newTablePipeline(w, opts.EncodeWorkers)
+	}
 	return w
+}
+
+// writeRaw appends p through the coalescing buffer, returning the write
+// error instead of latching it — the pipeline's writer task keeps its own
+// error state so it never races the producer's w.err.
+func (w *tableWriter) writeRaw(p []byte) error {
+	if w.coalesce == 0 {
+		_, err := w.f.Write(p)
+		return err
+	}
+	w.buf.Write(p)
+	if w.buf.Len() >= w.coalesce {
+		_, err := w.f.Write(w.buf.Bytes())
+		w.buf.Reset()
+		return err
+	}
+	return nil
+}
+
+// drainRaw flushes any coalesced bytes still buffered.
+func (w *tableWriter) drainRaw() error {
+	if w.buf.Len() == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.buf.Bytes())
+	w.buf.Reset()
+	return err
 }
 
 func (w *tableWriter) write(p []byte) {
 	if w.err != nil {
 		return
 	}
-	if w.coalesce == 0 {
-		_, w.err = w.f.Write(p)
-		return
-	}
-	w.buf.Write(p)
-	if w.buf.Len() >= w.coalesce {
-		_, w.err = w.f.Write(w.buf.Bytes())
-		w.buf.Reset()
-	}
+	w.err = w.writeRaw(p)
 }
 
 func (w *tableWriter) drain() {
-	if w.err == nil && w.buf.Len() > 0 {
-		_, w.err = w.f.Write(w.buf.Bytes())
-		w.buf.Reset()
+	if w.err == nil {
+		w.err = w.drainRaw()
 	}
 }
 
@@ -145,7 +181,21 @@ func (w *tableWriter) add(ik internalKey, value []byte) {
 }
 
 func (w *tableWriter) finishDataBlock() {
-	if w.dataBlock.empty() {
+	if w.dataBlock.empty() || w.err != nil {
+		return
+	}
+	if w.pipe != nil {
+		// The block builder reuses its buffer across blocks, so the raw
+		// bytes are snapshotted before they cross into the compute stage.
+		raw := append([]byte(nil), w.dataBlock.finish()...)
+		w.approxSize += int64(len(raw)) + blockTrailerLen
+		w.err = w.pipe.submit(encodeJob{
+			kind:          blkData,
+			raw:           raw,
+			indexKey:      append(internalKey(nil), w.lastIKey...),
+			allowCompress: !w.opts.DisableCompression,
+		})
+		w.dataBlock.reset()
 		return
 	}
 	handle := w.writeBlock(w.dataBlock.finish(), !w.opts.DisableCompression)
@@ -153,13 +203,16 @@ func (w *tableWriter) finishDataBlock() {
 	w.index.add(append(internalKey(nil), w.lastIKey...), encodeHandle(handle))
 }
 
-// writeBlock emits raw (optionally compressed) + trailer and returns its
-// handle. A compressed form is kept only when it is >12.5% smaller.
-func (w *tableWriter) writeBlock(raw []byte, allowCompress bool) blockHandle {
+// encodeBlock compresses raw per opts (when allowed and the compressed
+// form is >12.5% smaller) and appends the 5-byte block trailer. Returns
+// the bytes to append to the file and the payload length (trailer
+// excluded). Pure function of (opts, raw), so the pipelined and serial
+// writers produce identical files.
+func encodeBlock(opts *Options, raw []byte, allowCompress bool) (enc []byte, payloadLen int) {
 	blockType := byte(compressionNone)
 	out := raw
 	if allowCompress {
-		switch w.opts.Compression {
+		switch opts.Compression {
 		case CompressionFlate:
 			var cbuf bytes.Buffer
 			fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
@@ -171,56 +224,132 @@ func (w *tableWriter) writeBlock(raw []byte, allowCompress bool) blockHandle {
 				}
 			}
 		default: // CompressionSnappy (and unset)
-			enc := snappy.Encode(nil, raw)
-			if len(enc) < len(raw)-len(raw)/8 {
-				out = enc
+			c := snappy.Encode(nil, raw)
+			if len(c) < len(raw)-len(raw)/8 {
+				out = c
 				blockType = compressionSnappy
 			}
 		}
 	}
-	h := blockHandle{offset: w.offset, length: int64(len(out))}
 	crc := crc32.Checksum(out, crcTable)
 	crc = crc32.Update(crc, crcTable, []byte{blockType})
+	enc = make([]byte, 0, len(out)+blockTrailerLen)
+	enc = append(enc, out...)
 	var trailer [blockTrailerLen]byte
 	trailer[0] = blockType
 	binary.LittleEndian.PutUint32(trailer[1:], crc)
-	w.write(out)
-	w.write(trailer[:])
-	w.offset += int64(len(out)) + blockTrailerLen
+	enc = append(enc, trailer[:]...)
+	return enc, len(out)
+}
+
+// writeBlock encodes raw and emits it at the current offset, returning
+// its handle. Serial path only (the pipeline splits the same work across
+// its encoder and writer stages).
+func (w *tableWriter) writeBlock(raw []byte, allowCompress bool) blockHandle {
+	chargeEncodeCost(w.opts, len(raw))
+	enc, payloadLen := encodeBlock(w.opts, raw, allowCompress)
+	h := blockHandle{offset: w.offset, length: int64(payloadLen)}
+	w.write(enc)
+	w.offset += int64(len(enc))
 	return h
 }
 
-// finish completes the table and returns its metadata.
-func (w *tableWriter) finish() (tableMeta, error) {
-	w.finishDataBlock()
-	// Filter block (never compressed: it is random bits).
-	var filterHandle blockHandle
-	if w.opts.BitsPerKey > 0 && len(w.userKeys) > 0 {
-		filterHandle = w.writeBlock(buildBloom(w.userKeys, w.opts.BitsPerKey), false)
+// estimatedSize is the producer-visible output size, used for the
+// compaction split heuristic: the exact offset in serial mode, the sum
+// of raw block sizes in piped mode (the writer task owns the real
+// offset; compression only shrinks it, so splits err slightly early).
+func (w *tableWriter) estimatedSize() int64 {
+	if w.pipe != nil {
+		return w.approxSize
 	}
-	indexHandle := w.writeBlock(w.index.finish(), !w.opts.DisableCompression)
+	return w.offset
+}
+
+// writeTail emits the index block and footer, drains the coalescing
+// buffer and fsyncs — the common epilogue of both build modes. It uses
+// the error-returning write path so the pipeline's writer task can call
+// it without touching the producer's w.err.
+func (w *tableWriter) writeTail(filterHandle blockHandle) error {
+	indexRaw := w.index.finish()
+	chargeEncodeCost(w.opts, len(indexRaw))
+	enc, payloadLen := encodeBlock(w.opts, indexRaw, !w.opts.DisableCompression)
+	indexHandle := blockHandle{offset: w.offset, length: int64(payloadLen)}
+	if err := w.writeRaw(enc); err != nil {
+		return err
+	}
+	w.offset += int64(len(enc))
 	var footer [footerLen]byte
 	binary.LittleEndian.PutUint64(footer[0:], uint64(filterHandle.offset))
 	binary.LittleEndian.PutUint64(footer[8:], uint64(filterHandle.length))
 	binary.LittleEndian.PutUint64(footer[16:], uint64(indexHandle.offset))
 	binary.LittleEndian.PutUint64(footer[24:], uint64(indexHandle.length))
 	binary.LittleEndian.PutUint64(footer[32:], tableMagic)
-	w.write(footer[:])
+	if err := w.writeRaw(footer[:]); err != nil {
+		return err
+	}
 	w.offset += footerLen
-	w.drain()
-	if w.err != nil {
-		return tableMeta{}, w.err
+	if err := w.drainRaw(); err != nil {
+		return err
 	}
 	// Tables are always synced before they are returned, regardless of
 	// Options.Sync: the caller installs the table into the (synced) manifest
 	// immediately, and a manifest referencing a table whose bytes could
 	// still be lost to a crash would silently drop acknowledged data.
 	if err := w.f.Sync(); err != nil {
-		return tableMeta{}, err
+		return err
+	}
+	w.meta.size = w.offset
+	return nil
+}
+
+// finish completes the table and returns its metadata, waiting for the
+// pipeline when one is running.
+func (w *tableWriter) finish() (tableMeta, error) {
+	if w.pipe != nil {
+		return w.finishAsync().wait()
+	}
+	w.finishDataBlock()
+	// Filter block (never compressed: it is random bits).
+	var filterHandle blockHandle
+	if w.opts.BitsPerKey > 0 && len(w.userKeys) > 0 {
+		filterHandle = w.writeBlock(buildBloom(w.userKeys, w.opts.BitsPerKey), false)
+	}
+	if w.err != nil {
+		return tableMeta{}, w.err
 	}
 	w.meta.largest = append(internalKey(nil), w.lastIKey...)
-	w.meta.size = w.offset
+	if err := w.writeTail(filterHandle); err != nil {
+		return tableMeta{}, err
+	}
 	return w.meta, nil
+}
+
+// finishAsync seals the producer side of the build — trailing data
+// block, bloom-filter job, metadata — and returns a handle whose wait
+// resolves when the writer task has written the tail and fsynced. The
+// caller may start encoding its next output table while this one syncs.
+// In serial mode the build completes inline and wait returns immediately.
+func (w *tableWriter) finishAsync() *pendingTable {
+	if w.pipe == nil {
+		meta, err := w.finish()
+		return &pendingTable{meta: meta, err: err, done: true}
+	}
+	w.finishDataBlock()
+	if w.err == nil && w.opts.BitsPerKey > 0 && len(w.userKeys) > 0 {
+		w.err = w.pipe.submit(encodeJob{kind: blkFilter})
+	}
+	w.meta.largest = append(internalKey(nil), w.lastIKey...)
+	w.pipe.closeSubmit(w.err)
+	return &pendingTable{p: w.pipe}
+}
+
+// abort tears down a build that will not be finished (error paths): the
+// pipeline tasks are drained so the caller may close and delete the
+// output file. Safe to call in serial mode (no-op) and after finish.
+func (w *tableWriter) abort() {
+	if w.pipe != nil {
+		w.pipe.abort()
+	}
 }
 
 // tableReader serves point lookups and scans from one table file.

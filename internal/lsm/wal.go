@@ -28,13 +28,22 @@ const (
 // walWriter appends records to a log file.
 type walWriter struct {
 	f        vfs.File
-	blockOff int // offset within the current 32 KB block
+	off      int64 // bytes successfully written to f
+	blockOff int   // offset within the current 32 KB block
 	buf      []byte
 }
 
 func newWALWriter(f vfs.File) *walWriter { return &walWriter{f: f} }
 
 // addRecord appends one record, fragmenting across block boundaries.
+//
+// Failure model: a failed write may still have persisted a prefix of its
+// bytes (a torn write), so on any write error the position model is
+// resynchronized from the file itself (resync) instead of being left
+// where a clean failure would have put it. Without that, a retried
+// append after a failed pad write would pad again past the block
+// boundary and land the next record header mid-block — the reader then
+// misparses the header and silently truncates replay at that point.
 func (w *walWriter) addRecord(data []byte) error {
 	first := true
 	for {
@@ -43,8 +52,10 @@ func (w *walWriter) addRecord(data []byte) error {
 			// Pad the tail of the block with zeros.
 			if leftover > 0 {
 				if _, err := w.f.Write(make([]byte, leftover)); err != nil {
+					w.resync()
 					return err
 				}
+				w.off += int64(leftover)
 			}
 			w.blockOff = 0
 			continue
@@ -87,12 +98,46 @@ func (w *walWriter) emit(typ byte, payload []byte) error {
 	w.buf = append(w.buf, hdr[:]...)
 	w.buf = append(w.buf, payload...)
 	if _, err := w.f.Write(w.buf); err != nil {
+		w.resync()
 		return err
 	}
+	w.off += int64(len(w.buf))
 	w.blockOff += len(w.buf)
 	if w.blockOff == walBlockSize {
 		w.blockOff = 0
 	}
+	return nil
+}
+
+// resync realigns the writer's position model with the bytes that
+// actually reached the file after a failed write: a torn write may have
+// persisted any prefix, and the file is the only source of truth. If
+// even the size probe fails the model is left untouched — the caller is
+// expected to stop using the log (the DB poisons itself on WAL errors).
+func (w *walWriter) resync() {
+	if size, err := w.f.Size(); err == nil {
+		w.off = size
+		w.blockOff = int(size % walBlockSize)
+	}
+}
+
+// tell returns the number of bytes successfully appended so far; the
+// group-commit leader records it before an append so a failed cohort's
+// partial record can be rolled back.
+func (w *walWriter) tell() int64 { return w.off }
+
+// rollback truncates the log to off, discarding a suspect tail (e.g. a
+// record whose append or fsync failed): even a reopen without a crash
+// must never resurrect a write whose caller saw an error.
+func (w *walWriter) rollback(off int64) error {
+	if err := w.f.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	w.off = off
+	w.blockOff = int(off % walBlockSize)
 	return nil
 }
 
