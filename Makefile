@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench bench-smoke pipeline-smoke obs-smoke restore-chaos svc-smoke svc-chaos
+.PHONY: build test check race vet bench bench-smoke pipeline-smoke stability-smoke obs-smoke restore-chaos svc-smoke svc-chaos
 
 build:
 	$(GO) build ./...
@@ -62,12 +62,21 @@ bench-smoke:
 pipeline-smoke:
 	$(GO) run ./cmd/lsmio-bench -fig ext-pipeline -scale quick -json . -q
 
+# Sustained-load stability smoke: the ext-stability figure's shape
+# checks are the gate for the shared I/O bandwidth scheduler
+# (internal/iosched) — scheduler-on must show strictly lower windowed
+# throughput CoV and p999 drift than scheduler-off at no more than 5%
+# mean-throughput cost, and improve foreground commit p99 under a
+# compaction storm with concurrent scrub traffic.
+stability-smoke:
+	$(GO) run ./cmd/lsmio-bench -fig ext-stability -scale quick -json . -q
+
 # Observability smoke: every extension figure's JSON must embed the
 # unified obs registry snapshot ("metrics") with per-op latency
 # quantiles down to p999 — the guarantee that every layer is still
 # plumbed through internal/obs.
-obs-smoke: bench-smoke pipeline-smoke
-	@for f in BENCH_ext-nvme.json BENCH_ext-burst.json BENCH_ext-degraded.json BENCH_ext-compaction.json BENCH_ext-restore.json BENCH_ext-service.json BENCH_ext-pipeline.json; do \
+obs-smoke: bench-smoke pipeline-smoke stability-smoke
+	@for f in BENCH_ext-nvme.json BENCH_ext-burst.json BENCH_ext-degraded.json BENCH_ext-compaction.json BENCH_ext-restore.json BENCH_ext-service.json BENCH_ext-pipeline.json BENCH_ext-stability.json; do \
 		grep -q '"metrics"' $$f || { echo "obs-smoke: $$f missing metrics snapshot" >&2; exit 1; }; \
 		grep -q '"p999"' $$f || { echo "obs-smoke: $$f missing latency quantiles" >&2; exit 1; }; \
 	done; echo "obs-smoke: all extension figures embed registry snapshots"

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lsmio-bench [-fig all|1|5..10|ext-nvme|ext-burst|ext-degraded|ext-compaction|ext-restore|ext-service|ext-pipeline] [-scale paper|quick] [-csv dir] [-json dir] [-q]
+//	lsmio-bench [-fig all|1|5..10|ext-nvme|ext-burst|ext-degraded|ext-compaction|ext-restore|ext-service|ext-pipeline|ext-stability] [-scale paper|quick] [-csv dir] [-json dir] [-q]
 package main
 
 import (
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	figFlag := flag.String("fig", "all", "figure to run: all, 1, 5..10, ext-nvme, ext-burst, ext-degraded, ext-compaction, ext-restore, ext-service, ext-pipeline")
+	figFlag := flag.String("fig", "all", "figure to run: all, 1, 5..10, ext-nvme, ext-burst, ext-degraded, ext-compaction, ext-restore, ext-service, ext-pipeline, ext-stability")
 	scaleFlag := flag.String("scale", "paper", "sweep scale: paper (1..48 nodes) or quick")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV files")
 	jsonDir := flag.String("json", "", "directory to write per-figure BENCH_<fig>.json files")

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -71,6 +72,7 @@ func statsCmd(fsys lsmio.FS, args []string) {
 			fmt.Fprintln(os.Stderr, "lsmioctl:", err)
 			os.Exit(1)
 		}
+		writeIOSchedSection(os.Stdout, snap)
 	}
 
 	prev := mgr.Obs().Snapshot()
@@ -131,5 +133,38 @@ func serviceStats(fsys lsmio.FS, m svc.Manifest, asJSON bool) {
 		m.Shards, m.Epoch, len(m.Tenants))
 	if err := agg.WriteTable(os.Stdout); err != nil {
 		die(err)
+	}
+	writeIOSchedSection(os.Stdout, agg)
+}
+
+// writeIOSchedSection renders the shared I/O scheduler's per-class
+// accounting as an operator-oriented summary below the raw instrument
+// table: one row per priority class with grant counts, granted bytes,
+// cumulative token wait and the live deficit backlog, plus the device
+// budget and how much of it was actually bought. Printed only when the
+// snapshot carries `iosched.*` instruments (a deployment with the
+// scheduler attached); silent otherwise.
+func writeIOSchedSection(w io.Writer, snap lsmio.MetricsSnapshot) {
+	rate := snap.Gauges["iosched.device.rate_bytes_per_sec"]
+	busy := snap.Counters["iosched.device.busy_nanos"]
+	classes := []string{"foreground", "flush", "drain", "compaction", "scrub"}
+	attached := rate != 0 || busy != 0
+	for _, c := range classes {
+		if snap.Counters["iosched."+c+".grants"] != 0 {
+			attached = true
+		}
+	}
+	if !attached {
+		return
+	}
+	fmt.Fprintf(w, "\niosched: device budget %.1f MB/s, %v of device time bought\n",
+		float64(rate)/1e6, time.Duration(busy).Round(time.Millisecond))
+	fmt.Fprintf(w, "  %-12s %10s %14s %14s %12s\n", "class", "grants", "bytes", "wait", "deficit")
+	for _, c := range classes {
+		fmt.Fprintf(w, "  %-12s %10d %14d %14s %12d\n", c,
+			snap.Counters["iosched."+c+".grants"],
+			snap.Counters["iosched."+c+".granted_bytes"],
+			time.Duration(snap.Counters["iosched."+c+".wait_nanos"]).Round(time.Microsecond),
+			snap.Gauges["iosched."+c+".deficit_bytes"])
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"lsmio/internal/core"
+	"lsmio/internal/iosched"
 	"lsmio/internal/lsm"
 	"lsmio/internal/obs"
 	"lsmio/internal/pfs"
@@ -46,6 +47,10 @@ workload:
   -block-bytes n      bytes per put (default 262144)
   -noisy              add a flooding tenant with no barrier discipline (sim)
   -fair               fair-share admission (default true)
+  -iosched-bw n       shared I/O scheduler device budget in bytes/sec
+                      (0 = scheduler off, the default): one iosched
+                      instance paces WAL/flush/compaction across every
+                      shard and scrub on the simulated cluster
 
 reporting:
   -assert-fair r      exit 1 unless behaved p99 <= r x solo p99 (sim, needs -noisy)
@@ -98,6 +103,7 @@ func main() {
 	blockBytes := flag.Int64("block-bytes", 256<<10, "bytes per put")
 	noisy := flag.Bool("noisy", false, "add a flooding tenant (sim mode)")
 	fair := flag.Bool("fair", true, "fair-share admission")
+	ioBW := flag.Float64("iosched-bw", 0, "shared I/O scheduler budget, bytes/sec (0 = off)")
 	assertFair := flag.Float64("assert-fair", 0, "exit 1 unless behaved p99 <= r x solo p99")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Usage = usage
@@ -117,7 +123,7 @@ func main() {
 	if *simMode {
 		// Solo probe calibrates the load shape and the fairness
 		// baseline: one tenant, no neighbor, no admission limits.
-		probe, err := runSim(*shards, 1, *steps, *blocks, *blockBytes, false, svc.AdmissionConfig{}, 0, 0)
+		probe, err := runSim(*shards, 1, *steps, *blocks, *blockBytes, false, svc.AdmissionConfig{}, 0, 0, *ioBW)
 		if err != nil {
 			die(err)
 		}
@@ -127,14 +133,14 @@ func main() {
 		demand := float64(stepBytes) / (compute + solo).Seconds()
 		capacity := 2 * demand * float64(*tenants+1)
 		adm := svc.AdmissionConfig{Disabled: !*fair, CapacityBytesPerSec: capacity, MaxWait: solo / 4}
-		res, err = runSim(*shards, *tenants, *steps, *blocks, *blockBytes, *noisy, adm, compute, capacity)
+		res, err = runSim(*shards, *tenants, *steps, *blocks, *blockBytes, *noisy, adm, compute, capacity, *ioBW)
 		if err != nil {
 			die(err)
 		}
 		rep.Mode = "sim"
 	} else {
 		var err error
-		res, err = runDir(*dir, *shards, *tenants, *steps, *blocks, *blockBytes, *fair)
+		res, err = runDir(*dir, *shards, *tenants, *steps, *blocks, *blockBytes, *fair, *ioBW)
 		if err != nil {
 			die(err)
 		}
@@ -220,12 +226,21 @@ func main() {
 // over the fabric front on a staggered compute/commit cadence; a noisy
 // tenant, when present, offers un-barriered puts at the full advertised
 // capacity until the behaved tenants finish.
-func runSim(shards, tenants, steps, blocks int, blockBytes int64, noisy bool, adm svc.AdmissionConfig, compute time.Duration, noisyRate float64) (sessionResult, error) {
+func runSim(shards, tenants, steps, blocks int, blockBytes int64, noisy bool, adm svc.AdmissionConfig, compute time.Duration, noisyRate float64, ioBW float64) (sessionResult, error) {
 	k := sim.NewKernel()
 	clients := tenants + 1
 	cluster := pfs.NewCluster(k, pfs.VikingConfig(clients+shards))
 	reg := obs.NewRegistry()
 	reg.SetClock(func() time.Duration { return k.Now().Duration() })
+
+	// One scheduler instance covers every shard's engine I/O and the
+	// cluster's scrubber; disabled (nil-equivalent) when ioBW is 0 so the
+	// calibrated fairness gate is measured on the unscheduled baseline.
+	var sched *iosched.Scheduler
+	if ioBW > 0 {
+		sched = iosched.New(iosched.Config{BytesPerSec: ioBW, Kernel: k, Obs: reg})
+		cluster.SetIOScheduler(sched)
+	}
 
 	var s *svc.Service
 	var front *svc.Front
@@ -240,6 +255,7 @@ func runSim(shards, tenants, steps, blocks int, blockBytes int64, noisy bool, ad
 						Platform:        lsm.SimPlatform(k),
 						Async:           true,
 						WriteBufferSize: 1 << 20,
+						IOSched:         sched,
 					},
 					Kernel: k,
 					Obs:    reg,
@@ -248,6 +264,7 @@ func runSim(shards, tenants, steps, blocks int, blockBytes int64, noisy bool, ad
 			Kernel:    k,
 			Obs:       reg,
 			Admission: adm,
+			IOSched:   sched,
 		})
 		if setupErr != nil {
 			return
@@ -355,23 +372,30 @@ func runSim(shards, tenants, steps, blocks int, blockBytes int64, noisy bool, ad
 // session per tenant through the in-process transport. The layout —
 // shard-NNN stores plus SERVICE.json — is what lsmioctl's service mode
 // inspects.
-func runDir(dir string, shards, tenants, steps, blocks int, blockBytes int64, fair bool) (sessionResult, error) {
+func runDir(dir string, shards, tenants, steps, blocks int, blockBytes int64, fair bool, ioBW float64) (sessionResult, error) {
 	fs, err := vfs.NewOSFS(dir)
 	if err != nil {
 		return sessionResult{}, err
 	}
 	reg := obs.NewRegistry()
+	var sched *iosched.Scheduler
+	if ioBW > 0 {
+		// Wall-clock mode: every shard's engine paces against the same
+		// real-time budget.
+		sched = iosched.New(iosched.Config{BytesPerSec: ioBW, Obs: reg})
+	}
 	s, err := svc.New(svc.Options{
 		Shards: shards,
 		OpenShard: func(i int) (*core.Manager, error) {
 			return core.NewManager(svc.ShardDirName(i), core.ManagerOptions{
-				Store: core.StoreOptions{FS: fs, Async: true},
+				Store: core.StoreOptions{FS: fs, Async: true, IOSched: sched},
 				Obs:   reg,
 			})
 		},
 		Obs:        reg,
 		Admission:  svc.AdmissionConfig{Disabled: !fair},
 		ManifestFS: fs,
+		IOSched:    sched,
 	})
 	if err != nil {
 		return sessionResult{}, err

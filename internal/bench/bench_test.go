@@ -12,7 +12,7 @@ func tinyScale() Scale {
 }
 
 func TestFigureCatalogueComplete(t *testing.T) {
-	want := []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ext-nvme", "ext-burst", "ext-degraded", "ext-compaction", "ext-restore", "ext-service", "ext-pipeline"}
+	want := []string{"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ext-nvme", "ext-burst", "ext-degraded", "ext-compaction", "ext-restore", "ext-service", "ext-pipeline", "ext-stability"}
 	figs := Figures()
 	if len(figs) != len(want) {
 		t.Fatalf("%d figures, want %d", len(figs), len(want))

@@ -307,7 +307,7 @@ func ExtNVMe() Figure {
 
 // Figures returns the full catalogue in paper order, plus extensions.
 func Figures() []Figure {
-	return []Figure{Fig5(), Fig6(), Fig7(), Fig8(), Fig9(), Fig10(), ExtNVMe(), ExtBurst(), ExtDegraded(), ExtCompaction(), ExtRestore(), ExtService(), ExtPipeline()}
+	return []Figure{Fig5(), Fig6(), Fig7(), Fig8(), Fig9(), Fig10(), ExtNVMe(), ExtBurst(), ExtDegraded(), ExtCompaction(), ExtRestore(), ExtService(), ExtPipeline(), ExtStability()}
 }
 
 // FigureByID finds one figure ("fig5" ... "fig10").

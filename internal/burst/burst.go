@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"lsmio/ckpt"
+	"lsmio/internal/iosched"
 	"lsmio/internal/obs"
 	"lsmio/internal/resil"
 	"lsmio/internal/sim"
@@ -53,7 +54,14 @@ type Options struct {
 	// DrainRate paces the background drain in bytes per second of
 	// wall-clock (or virtual) time, so draining does not contend with
 	// the application's next I/O phase. Zero means drain flat-out.
+	// Ignored when IOSched is enabled.
 	DrainRate float64
+	// IOSched, when set and enabled, supersedes DrainRate: the drain
+	// worker buys Drain-class tokens from the shared bandwidth
+	// scheduler for each step's bytes, so drain pacing is arbitrated
+	// globally against the LSM engine's flush/compaction I/O and the
+	// PFS scrubber instead of by a private sleep loop.
+	IOSched *iosched.Scheduler
 	// Kernel must be set when the tier runs inside the simulator; the
 	// drain worker is then a simulation process and all waits park the
 	// calling process. Nil outside the simulator (goroutine worker).

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lsmio/ckpt"
+	"lsmio/internal/iosched"
 	"lsmio/internal/resil"
 	"lsmio/internal/sim"
 )
@@ -67,6 +68,19 @@ func (t *Tier) runWorker(sleep func(time.Duration)) {
 		t.inFlight++
 		t.unlock()
 
+		if t.opts.IOSched.Enabled() {
+			// The shared bandwidth scheduler replaces the private
+			// DrainRate pacing: the step buys Drain-class tokens before
+			// its I/O is issued, so drain bandwidth is arbitrated against
+			// flush, compaction and scrub instead of by a local sleep.
+			// The wait still feeds the legacy throttle counter, which is
+			// now a snapshot view of iosched.drain.wait_nanos.
+			if w := t.opts.IOSched.Acquire(iosched.Drain, item.bytes); w > 0 {
+				t.m.throttleNanos.Add(int64(w))
+			}
+			t.finish(item, t.drain(item))
+			continue
+		}
 		start := t.now()
 		err := t.drain(item)
 		if err == nil && t.opts.DrainRate > 0 {

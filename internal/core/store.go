@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"strings"
 
+	"lsmio/internal/iosched"
 	"lsmio/internal/lsm"
 	"lsmio/internal/obs"
 	"lsmio/internal/vfs"
@@ -108,6 +109,12 @@ type StoreOptions struct {
 	// instruments live under the `lsm.` prefix there). Nil lets the
 	// engine create a private registry.
 	Obs *obs.Registry
+	// IOSched is the shared bandwidth scheduler handed to the LSM
+	// engine: WAL appends draw Foreground tokens and table builds draw
+	// Flush/Compaction tokens from it. One instance is shared across
+	// every store (and the burst tier and PFS scrubber) in a
+	// deployment. Nil disables scheduling.
+	IOSched *iosched.Scheduler
 }
 
 func (o StoreOptions) engineOptions() lsm.Options {
@@ -131,6 +138,7 @@ func (o StoreOptions) engineOptions() lsm.Options {
 		eo.Compression = o.Codec
 	}
 	eo.Obs = o.Obs
+	eo.IOSched = o.IOSched
 	return eo
 }
 

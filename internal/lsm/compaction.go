@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+
+	"lsmio/internal/iosched"
 )
 
 // Leveled compaction, LevelDB-style: L0 tables (which may overlap) are
@@ -576,6 +578,7 @@ func (db *DB) mergeTables(inputs []*fileMeta, shard shardRange, dropTombstones b
 				return nil, ferr
 			}
 			w = newTableWriter(f, &db.opts, num, &db.m)
+			w.ioClass = iosched.Compaction
 			outFile, outName = f, name
 		}
 		w.add(ik, merge.Value())

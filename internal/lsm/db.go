@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"lsmio/internal/iosched"
 	"lsmio/internal/obs"
 	"lsmio/internal/vfs"
 )
@@ -369,6 +370,11 @@ func (db *DB) commitCohortLocked() {
 		startOff := wal.tell()
 		db.logging = true
 		db.plat.Unlock()
+		// Commit I/O is the scheduler's top class: the cohort's writers
+		// are blocked on this append, so it outbids every background
+		// consumer but is still accounted, which is what lets the
+		// scheduler squeeze compaction when commits are active.
+		db.opts.IOSched.Acquire(iosched.Foreground, int64(len(rec)))
 		werr := wal.addRecord(rec)
 		if werr == nil && db.opts.Sync {
 			db.m.walSyncs.Inc()

@@ -18,6 +18,7 @@ package lsm
 import (
 	"time"
 
+	"lsmio/internal/iosched"
 	"lsmio/internal/obs"
 	"lsmio/internal/vfs"
 )
@@ -47,6 +48,14 @@ type Options struct {
 	// Platform; callers that manage several subsystems (core.Manager)
 	// inject a shared one so a single snapshot covers the whole stack.
 	Obs *obs.Registry
+	// IOSched is the shared I/O-bandwidth scheduler. When set, WAL
+	// appends buy Foreground tokens and every table-build byte buys
+	// Flush or Compaction tokens before hitting the filesystem, so the
+	// engine's background I/O is paced against the other consumers
+	// (burst drain, parity scrub) instead of free-running.
+	// MaxBackgroundJobs remains purely a concurrency cap. Nil disables
+	// scheduling (all I/O free-running, the pre-PR-10 behavior).
+	IOSched *iosched.Scheduler
 
 	// WriteBufferSize is the memtable capacity in bytes. When a memtable
 	// reaches this size it becomes immutable and is flushed to an SSTable.

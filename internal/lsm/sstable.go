@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"lsmio/internal/iosched"
 	"lsmio/internal/snappy"
 	"lsmio/internal/vfs"
 )
@@ -78,6 +79,11 @@ type tableWriter struct {
 	opts *Options
 	m    *dbMetrics
 
+	// ioClass is the scheduler class this build's bytes are charged to:
+	// Flush for memtable flushes (the default), Compaction for
+	// compaction outputs. Unused when opts.IOSched is nil.
+	ioClass iosched.Class
+
 	buf        bytes.Buffer // pending bytes when coalescing writes
 	coalesce   int          // flush granularity for buf; 0 = write-through
 	offset     int64
@@ -101,6 +107,7 @@ func newTableWriter(f vfs.File, opts *Options, fileNum uint64, m *dbMetrics) *ta
 		f:         f,
 		opts:      opts,
 		m:         m,
+		ioClass:   iosched.Flush,
 		dataBlock: newBlockBuilder(opts.BlockRestartInterval),
 		index:     newBlockBuilder(1),
 	}
@@ -122,12 +129,11 @@ func newTableWriter(f vfs.File, opts *Options, fileNum uint64, m *dbMetrics) *ta
 // error state so it never races the producer's w.err.
 func (w *tableWriter) writeRaw(p []byte) error {
 	if w.coalesce == 0 {
-		_, err := w.f.Write(p)
-		return err
+		return w.writeScheduled(p)
 	}
 	w.buf.Write(p)
 	if w.buf.Len() >= w.coalesce {
-		_, err := w.f.Write(w.buf.Bytes())
+		err := w.writeScheduled(w.buf.Bytes())
 		w.buf.Reset()
 		return err
 	}
@@ -139,8 +145,22 @@ func (w *tableWriter) drainRaw() error {
 	if w.buf.Len() == 0 {
 		return nil
 	}
-	_, err := w.f.Write(w.buf.Bytes())
+	err := w.writeScheduled(w.buf.Bytes())
 	w.buf.Reset()
+	return err
+}
+
+// writeScheduled is the single funnel every table-build byte passes
+// through on its way to the filesystem: it buys ioClass tokens from the
+// shared bandwidth scheduler (free when none is configured) and refunds
+// them if the write fails, so an errored build does not hold budget the
+// device never saw.
+func (w *tableWriter) writeScheduled(p []byte) error {
+	w.opts.IOSched.Acquire(w.ioClass, int64(len(p)))
+	_, err := w.f.Write(p)
+	if err != nil {
+		w.opts.IOSched.Cancel(w.ioClass, int64(len(p)))
+	}
 	return err
 }
 

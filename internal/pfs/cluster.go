@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"lsmio/internal/iosched"
 	"lsmio/internal/netsim"
 	"lsmio/internal/obs"
 	"lsmio/internal/resil"
@@ -34,6 +35,12 @@ type Cluster struct {
 	tracker *resil.Tracker
 	res     Resilience
 
+	// iosched, when set, throttles scrub/repair I/O: every stripe-unit
+	// read or write a scrub pass issues buys Scrub-class tokens first,
+	// so a repair storm cannot monopolize OST bandwidth against
+	// foreground commits. Set via SetIOScheduler; nil = unthrottled.
+	iosched *iosched.Scheduler
+
 	// reg is the obs registry (clocked on the cluster's virtual time)
 	// backing every `pfs.*` counter and latency histogram; m caches the
 	// instrument handles. Counters are atomic: sim-mode runs are
@@ -54,6 +61,18 @@ type FaultFunc func(write bool, ostIdx int, attempt int) error
 // InjectFaults installs (or, with nil, removes) the cluster's RPC fault
 // hook. Tests use it to model failing or flaky OSTs.
 func (c *Cluster) InjectFaults(fn FaultFunc) { c.faultFn = fn }
+
+// SetIOScheduler attaches (or, with nil, detaches) the shared bandwidth
+// scheduler that throttles the cluster's scrub/repair I/O under the
+// Scrub class. Foreground client I/O is never scheduled here — it is
+// paced by the engine's own Foreground/Flush classes.
+func (c *Cluster) SetIOScheduler(s *iosched.Scheduler) { c.iosched = s }
+
+// scrubAcquire buys Scrub-class tokens for n bytes of repair I/O. Free
+// when no scheduler is attached (the pre-PR-10 unthrottled behavior).
+func (c *Cluster) scrubAcquire(n int64) {
+	c.iosched.Acquire(iosched.Scrub, n)
+}
 
 // procClock adapts the calling simulation process to resil.Clock, so
 // policy backoffs are charged on the virtual clock.

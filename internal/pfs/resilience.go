@@ -482,7 +482,9 @@ func (c *Cluster) rebuildDataMember(p *sim.Proc, client int, path string, l *lay
 		}
 		objOff := (ci / int64(l.stripeCount)) * l.stripeSize
 		// Read the row from every survivor plus parity, XOR, write to the
-		// spare.
+		// spare. The whole row's I/O buys Scrub-class tokens up front so
+		// a rebuild storm is paced against foreground traffic.
+		c.scrubAcquire(n * int64(len(l.osts)+1))
 		for s, ostIdx := range l.osts {
 			if s == slot {
 				continue
@@ -511,6 +513,7 @@ func (c *Cluster) relocateParity(p *sim.Proc, client int, path string, l *layout
 	if pn == 0 {
 		pn = size
 	}
+	c.scrubAcquire(pn * int64(len(l.osts)+1))
 	for _, ostIdx := range l.osts {
 		c.readRun(p, client, l, run{ostIdx: ostIdx, objOff: 0, n: pn})
 	}
@@ -540,6 +543,7 @@ func (c *Cluster) verifyUnits(p *sim.Proc, client int, path string, l *layout, s
 		}
 		slot := int(ci % int64(l.stripeCount))
 		objOff := (ci / int64(l.stripeCount)) * l.stripeSize
+		c.scrubAcquire(n)
 		c.readRun(p, client, l, run{ostIdx: l.osts[slot], objOff: objOff, n: n})
 		got, rerr := readFull(file, buf[:n], ci*l.stripeSize)
 		if rerr != nil {
@@ -561,6 +565,7 @@ func (c *Cluster) verifyUnits(p *sim.Proc, client int, path string, l *layout, s
 		if _, werr := file.WriteAt(fixed, ci*l.stripeSize); werr != nil {
 			return verified, repaired, unrecoverable, fmt.Errorf("pfs: scrub rewrite %s unit %d: %w", path, ci, werr)
 		}
+		c.scrubAcquire(n)
 		if _, werr := c.writeRun(p, client, l, run{ostIdx: l.osts[slot], objOff: objOff, n: n}, false); werr != nil {
 			return verified, repaired, unrecoverable, fmt.Errorf("pfs: scrub rewrite %s unit %d: %w", path, ci, werr)
 		}
@@ -594,6 +599,7 @@ func (c *Cluster) reconstructUnit(p *sim.Proc, client int, file vfs.File, l *lay
 		if sn == 0 {
 			continue
 		}
+		c.scrubAcquire(sn)
 		c.readRun(p, client, l, run{ostIdx: l.osts[s], objOff: objOff, n: sn})
 		got, err := readFull(file, buf[:sn], sib*l.stripeSize)
 		if err != nil {
@@ -603,6 +609,7 @@ func (c *Cluster) reconstructUnit(p *sim.Proc, client int, file vfs.File, l *lay
 			out[i] ^= got[i]
 		}
 	}
+	c.scrubAcquire(n)
 	c.readRun(p, client, l, run{ostIdx: l.parityOST, objOff: objOff, n: n})
 	return out, nil
 }

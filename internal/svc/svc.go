@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"lsmio/internal/core"
+	"lsmio/internal/iosched"
 	"lsmio/internal/obs"
 	"lsmio/internal/resil"
 	"lsmio/internal/sim"
@@ -95,6 +96,14 @@ type Options struct {
 	// Supervisor configures per-shard health tracking and
 	// crash-restart (on by default; see SupervisorConfig).
 	Supervisor SupervisorConfig
+	// IOSched is the shared bandwidth scheduler the shard stores draw
+	// from. The service front-end never acquires tokens itself — the
+	// shard managers do, through the StoreOptions their OpenShard
+	// closure builds — but the service keeps the reference so one
+	// instance demonstrably covers every shard and operator tooling
+	// (lsmioctl stats) can surface per-class scheduler state alongside
+	// service metrics. Nil when scheduling is disabled.
+	IOSched *iosched.Scheduler
 }
 
 // Shard supervisor states (also the value of the per-shard state
@@ -139,12 +148,13 @@ type shard struct {
 
 // Service is the multi-tenant sharded checkpoint service.
 type Service struct {
-	kern *sim.Kernel
-	reg  *obs.Registry
-	open func(int) (*core.Manager, error)
-	mfs  vfs.FS
-	adm  *admission
-	sup  *supervisor
+	kern  *sim.Kernel
+	reg   *obs.Registry
+	open  func(int) (*core.Manager, error)
+	mfs   vfs.FS
+	adm   *admission
+	sup   *supervisor
+	iosch *iosched.Scheduler
 
 	// mu guards the routing state. It is never held across a blocking
 	// store operation, so taking it from a simulation process is safe.
@@ -204,6 +214,7 @@ func New(opts Options) (*Service, error) {
 		reg:         reg,
 		open:        opts.OpenShard,
 		mfs:         opts.ManifestFS,
+		iosch:       opts.IOSched,
 		adm:         newAdmission(opts.Admission, reg),
 		ring:        NewRing(n),
 		gShards:     reg.Gauge("svc.shards"),
@@ -260,6 +271,10 @@ func (s *Service) Obs() *obs.Registry { return s.reg }
 
 // Kernel returns the simulation kernel, nil in goroutine mode.
 func (s *Service) Kernel() *sim.Kernel { return s.kern }
+
+// IOScheduler returns the shared bandwidth scheduler the shard stores
+// draw from, nil when scheduling is disabled.
+func (s *Service) IOScheduler() *iosched.Scheduler { return s.iosch }
 
 // Shards reports the current shard count.
 func (s *Service) Shards() int {
